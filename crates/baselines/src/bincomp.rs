@@ -1,0 +1,304 @@
+//! **Bin-comp**: the paper's non-containing binary benchmark.
+//!
+//! A conventional 2-sort over plain binary (not Gray) inputs: a magnitude
+//! comparator computes `greater = (a > b)`, which then drives `2B`
+//! multiplexers. Following the paper's design flow, the comparator is mapped
+//! to the richer standard cells that a synthesis tool would pick — XNOR for
+//! bit equality, AND2B1 (`a·b̄`) for bit dominance, AO21 for the carry chain
+//! and MUX2 for the output stage — each counted as **one** gate, which is
+//! exactly why the binary design "hides complexity" (Section 6).
+//!
+//! The gate count is `5B − 2`, closely tracking the paper's 8/19/41/81 for
+//! B = 2/4/8/16.
+//!
+//! None of those cells is certified metastability-containing: one metastable
+//! input bit drives `greater` metastable, which poisons every multiplexer —
+//! the behaviour the `containment_demo` example demonstrates.
+
+use mcs_logic::{Trit, TritVec};
+use mcs_netlist::Netlist;
+
+/// Builds the Bin-comp 2-sort over `width`-bit **binary** inputs.
+///
+/// Port convention matches
+/// [`build_two_sort`](mcs_core::two_sort::build_two_sort): inputs
+/// `g0…g{B−1}, h0…h{B−1}` (MSB first), outputs `max0…, min0…`.
+///
+/// ```
+/// use mcs_baselines::bincomp::{build_bincomp, simulate_bincomp};
+///
+/// let c = build_bincomp(16);
+/// assert_eq!(c.gate_count(), 5 * 16 - 2);
+/// let (max, min) = simulate_bincomp(&c, 41_000, 3_777);
+/// assert_eq!((max, min), (41_000, 3_777));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `width` is 0 or exceeds 63.
+pub fn build_bincomp(width: usize) -> Netlist {
+    assert!(width > 0 && width <= 63, "width must be in 1..=63");
+    let mut n = Netlist::new(format!("bincomp_{width}"));
+    let g: Vec<_> = (0..width).map(|i| n.input(format!("g{i}"))).collect();
+    let h: Vec<_> = (0..width).map(|i| n.input(format!("h{i}"))).collect();
+
+    // Ripple comparator from the LSB up:
+    //   greater_{B-1} = g_{B-1}·h̄_{B-1}
+    //   greater_i     = g_i·h̄_i + (g_i ≡ h_i)·greater_{i+1}
+    // mapped to one AND2B1 per bit, plus XNOR + AO21 per remaining bit.
+    let mut greater = n.andnot2(g[width - 1], h[width - 1]);
+    for i in (0..width - 1).rev() {
+        let dominate = n.andnot2(g[i], h[i]);
+        let equal = n.xnor2(g[i], h[i]);
+        greater = n.ao21(dominate, equal, greater);
+    }
+
+    // Output stage: 2B muxes steered by `greater`.
+    for i in 0..width {
+        let mx = n.mux2(h[i], g[i], greater);
+        n.set_output(format!("max{i}"), mx);
+    }
+    for i in 0..width {
+        let mn = n.mux2(g[i], h[i], greater);
+        n.set_output(format!("min{i}"), mn);
+    }
+    n
+}
+
+/// Tree-structured Bin-comp: same function and cell family as
+/// [`build_bincomp`], but the comparator combines per-bit `(greater,
+/// equal)` pairs in a balanced tree — `O(log B)` comparator depth instead
+/// of the ripple chain's `O(B)`.
+///
+/// This models the strategy switch the paper observed in its synthesis
+/// tool: at B = 16 the optimiser moved to a tree comparator, making
+/// Bin-comp's published delay *drop* from 477 ps (B = 8, ripple-like) to
+/// 422 ps. The price is more gates: `6B − 3` versus the ripple's `5B − 2`.
+///
+/// ```
+/// use mcs_baselines::bincomp::{build_bincomp, build_bincomp_tree};
+/// let ripple = build_bincomp(16);
+/// let tree = build_bincomp_tree(16);
+/// assert!(tree.depth() < ripple.depth());
+/// assert!(tree.gate_count() > ripple.gate_count());
+/// ```
+///
+/// # Panics
+///
+/// Panics if `width` is 0 or exceeds 63.
+pub fn build_bincomp_tree(width: usize) -> Netlist {
+    assert!(width > 0 && width <= 63, "width must be in 1..=63");
+    let mut n = Netlist::new(format!("bincomp_tree_{width}"));
+    let g: Vec<_> = (0..width).map(|i| n.input(format!("g{i}"))).collect();
+    let h: Vec<_> = (0..width).map(|i| n.input(format!("h{i}"))).collect();
+
+    // Per-bit (greater, equal); combine MSB-side-wins in a balanced tree:
+    //   g = g_hi + e_hi·g_lo,  e = e_hi·e_lo.
+    let mut pairs: Vec<(mcs_netlist::NodeId, mcs_netlist::NodeId)> = (0..width)
+        .map(|i| (n.andnot2(g[i], h[i]), n.xnor2(g[i], h[i])))
+        .collect();
+    while pairs.len() > 1 {
+        let at_root = pairs.len() == 2;
+        let mut next = Vec::with_capacity(pairs.len().div_ceil(2));
+        for chunk in pairs.chunks(2) {
+            if let [(g_hi, e_hi), (g_lo, e_lo)] = *chunk {
+                let gt = n.ao21(g_hi, e_hi, g_lo);
+                // The root's equality output is never consumed.
+                let eq = if at_root { e_hi } else { n.and2(e_hi, e_lo) };
+                next.push((gt, eq));
+            } else {
+                next.push(chunk[0]);
+            }
+        }
+        pairs = next;
+    }
+    let greater = pairs[0].0;
+
+    for i in 0..width {
+        let mx = n.mux2(h[i], g[i], greater);
+        n.set_output(format!("max{i}"), mx);
+    }
+    for i in 0..width {
+        let mn = n.mux2(g[i], h[i], greater);
+        n.set_output(format!("min{i}"), mn);
+    }
+    n
+}
+
+/// Runs a Bin-comp netlist on two stable binary values, returning
+/// `(max, min)` decoded back to integers.
+///
+/// # Panics
+///
+/// Panics if the values do not fit the circuit's width.
+pub fn simulate_bincomp(netlist: &Netlist, x: u64, y: u64) -> (u64, u64) {
+    let width = netlist.input_count() / 2;
+    let gx = TritVec::from_uint(x, width);
+    let hy = TritVec::from_uint(y, width);
+    let mut inputs: Vec<Trit> = Vec::with_capacity(2 * width);
+    inputs.extend(gx.iter());
+    inputs.extend(hy.iter());
+    let out = netlist.eval(&inputs);
+    let max: TritVec = out[..width].iter().copied().collect();
+    let min: TritVec = out[width..].iter().copied().collect();
+    (
+        max.to_uint().expect("stable inputs give stable outputs"),
+        min.to_uint().expect("stable inputs give stable outputs"),
+    )
+}
+
+/// Runs a Bin-comp netlist on raw ternary inputs (for containment
+/// experiments), returning the raw `(max, min)` outputs.
+///
+/// # Panics
+///
+/// Panics if the input widths disagree with the circuit.
+pub fn simulate_bincomp_ternary(
+    netlist: &Netlist,
+    g: &TritVec,
+    h: &TritVec,
+) -> (TritVec, TritVec) {
+    let width = netlist.input_count() / 2;
+    assert_eq!(g.len(), width, "g width mismatch");
+    assert_eq!(h.len(), width, "h width mismatch");
+    let mut inputs: Vec<Trit> = Vec::with_capacity(2 * width);
+    inputs.extend(g.iter());
+    inputs.extend(h.iter());
+    let out = netlist.eval(&inputs);
+    (
+        out[..width].iter().copied().collect(),
+        out[width..].iter().copied().collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_netlist::mc::assert_mc_cells_only;
+    use mcs_netlist::CellKind;
+
+    #[test]
+    fn gate_count_is_5b_minus_2() {
+        for (width, want) in [(2usize, 8usize), (4, 18), (8, 38), (16, 78)] {
+            let c = build_bincomp(width);
+            assert_eq!(c.gate_count(), want, "bincomp({width})");
+        }
+    }
+
+    #[test]
+    fn cell_mix_matches_hand_mapping() {
+        let c = build_bincomp(8);
+        let counts = c.cell_counts();
+        assert_eq!(counts[&CellKind::AndNot2], 8);
+        assert_eq!(counts[&CellKind::Xnor2], 7);
+        assert_eq!(counts[&CellKind::Ao21], 7);
+        assert_eq!(counts[&CellKind::Mux2], 16);
+    }
+
+    #[test]
+    fn sorts_all_pairs_exhaustively_width_6() {
+        let width = 6usize;
+        let c = build_bincomp(width);
+        for x in 0..(1u64 << width) {
+            for y in 0..(1u64 << width) {
+                let (mx, mn) = simulate_bincomp(&c, x, y);
+                assert_eq!((mx, mn), (x.max(y), x.min(y)), "({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_random_pairs() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let width = 32usize;
+        let c = build_bincomp(width);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..300 {
+            let x = rng.gen_range(0..(1u64 << width));
+            let y = rng.gen_range(0..(1u64 << width));
+            let (mx, mn) = simulate_bincomp(&c, x, y);
+            assert_eq!((mx, mn), (x.max(y), x.min(y)));
+        }
+    }
+
+    #[test]
+    fn is_not_mc_certified() {
+        let c = build_bincomp(4);
+        assert!(assert_mc_cells_only(&c).is_err());
+    }
+
+    #[test]
+    fn metastability_spreads_to_every_output() {
+        // One metastable bit at the MSB of g: with the pessimistic cell
+        // semantics, `greater` goes metastable and every mux output follows.
+        let width = 4usize;
+        let c = build_bincomp(width);
+        let g: TritVec = "M110".parse().unwrap();
+        let h: TritVec = "0101".parse().unwrap();
+        let (mx, mn) = simulate_bincomp_ternary(&c, &g, &h);
+        let poisoned = mx.meta_count() + mn.meta_count();
+        assert!(
+            poisoned >= width,
+            "expected widespread metastability, got ({mx}, {mn})"
+        );
+    }
+
+    #[test]
+    fn depth_is_logarithmic_free_ripple() {
+        // The ripple chain makes depth linear in B — matching the paper's
+        // observation that Bin-comp delay grows with B until the optimiser
+        // switches strategy (which our fixed mapping does not model).
+        let d4 = build_bincomp(4).depth();
+        let d8 = build_bincomp(8).depth();
+        assert!(d8 > d4);
+        assert_eq!(build_bincomp(2).depth(), 3);
+    }
+
+    #[test]
+    fn tree_variant_sorts_exhaustively_width_5() {
+        let width = 5usize;
+        let c = build_bincomp_tree(width);
+        for x in 0..(1u64 << width) {
+            for y in 0..(1u64 << width) {
+                let (mx, mn) = simulate_bincomp(&c, x, y);
+                assert_eq!((mx, mn), (x.max(y), x.min(y)), "({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn tree_variant_gate_count_and_depth() {
+        // 6B − 3 gates: 2B leaf cells, B−1 AO21 + B−2 AND combines, 2B mux.
+        for (width, want) in [(2usize, 9usize), (4, 21), (8, 45), (16, 93)] {
+            assert_eq!(build_bincomp_tree(width).gate_count(), want, "B={width}");
+        }
+        // Depth: ripple is linear, tree logarithmic.
+        let ripple = build_bincomp(16);
+        let tree = build_bincomp_tree(16);
+        assert!(ripple.depth() >= 16);
+        assert!(tree.depth() <= 8);
+    }
+
+    #[test]
+    fn tree_variant_models_the_papers_b16_delay_drop() {
+        // Paper Table 7: Bin-comp delay falls from 477 ps (B=8) to 422 ps
+        // (B=16) because synthesis switches strategy. With our model:
+        // ripple at B=8 vs tree at B=16 reproduces a drop.
+        use mcs_netlist::{TechLibrary, TimingReport};
+        let lib = TechLibrary::paper_calibrated();
+        let d8_ripple = TimingReport::of(&build_bincomp(8), &lib).delay_ps();
+        let d16_tree = TimingReport::of(&build_bincomp_tree(16), &lib).delay_ps();
+        assert!(
+            d16_tree < d8_ripple,
+            "tree at B=16 ({d16_tree:.0} ps) should beat ripple at B=8 ({d8_ripple:.0} ps)"
+        );
+    }
+
+    #[test]
+    fn width_one_degenerates() {
+        let c = build_bincomp(1);
+        assert_eq!(c.gate_count(), 3); // one AND2B1, two muxes
+        let (mx, mn) = simulate_bincomp(&c, 1, 0);
+        assert_eq!((mx, mn), (1, 0));
+    }
+}

@@ -1,0 +1,27 @@
+//! Baseline 2-sort circuits the paper compares against (Section 6).
+//!
+//! Three designs, all following the same port convention as
+//! [`mcs_core::two_sort::build_two_sort`] (inputs `g0…g{B−1}, h0…h{B−1}`,
+//! outputs `max0…, min0…`):
+//!
+//! * [`bincomp`] — **Bin-comp**: a standard, *non-containing* comparator
+//!   plus multiplexers over plain binary inputs, hand-mapped to the richer
+//!   AOI-class cells (XNOR, AND2B1, AO21, MUX2) exactly as the paper's
+//!   binary benchmark is. Fast and small, but a single metastable input bit
+//!   poisons almost every output.
+//! * [`serial2016`] — a serial, depth-`Θ(B)` metastability-containing
+//!   2-sort: the paper's own operator blocks arranged as a chain, the shape
+//!   of the ASYNC 2016 predecessor \[12\].
+//! * [`bund2017`] — a `Θ(B log B)`-gate metastability-containing 2-sort
+//!   built on prefix computation *without sharing*, the asymptotic shape of
+//!   the DATE 2017 predecessor \[2\]. The module also carries the paper's
+//!   published measurements for \[2\], so benches can report both the
+//!   reconstruction and the original numbers.
+
+pub mod bincomp;
+pub mod bund2017;
+pub mod serial2016;
+
+pub use bincomp::{build_bincomp, build_bincomp_tree, simulate_bincomp};
+pub use bund2017::{build_bund2017_two_sort, published_2sort, Published2Sort};
+pub use serial2016::build_serial_two_sort;

@@ -1,0 +1,82 @@
+//! Serial metastability-containing 2-sort: the ASYNC 2016 shape.
+//!
+//! Lenzen & Medina's original construction \[12\] evaluates the comparison
+//! FSM bit by bit, which is containing and uses only `O(B)` gates but has
+//! depth `Θ(B)`. We reproduce that cost profile with the paper's own
+//! operator blocks arranged as a serial prefix chain — functionally
+//! identical to the optimal circuit, with the predecessor's area/delay
+//! trade-off.
+
+use mcs_core::ppc::PrefixTopology;
+use mcs_core::two_sort::build_two_sort;
+use mcs_netlist::Netlist;
+
+/// Builds the serial (depth-`Θ(B)`) metastability-containing 2-sort.
+///
+/// Same ports and semantics as
+/// `mcs_core::two_sort::build_two_sort`; only the prefix
+/// topology differs.
+///
+/// ```
+/// use mcs_baselines::serial2016::build_serial_two_sort;
+///
+/// let c = build_serial_two_sort(16);
+/// // Fewer gates than the paper's 407 (no output-stage operators) …
+/// assert!(c.gate_count() < 407);
+/// // … but far deeper than the logarithmic-depth circuit.
+/// assert!(c.depth() > 40);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `width` is 0 or exceeds 63.
+pub fn build_serial_two_sort(width: usize) -> Netlist {
+    build_two_sort(width, PrefixTopology::Serial)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_core::two_sort::verify_two_sort_exhaustive;
+    use mcs_netlist::mc::assert_mc_cells_only;
+
+    #[test]
+    fn exhaustive_small_widths() {
+        for width in 1..=6usize {
+            let c = build_serial_two_sort(width);
+            verify_two_sort_exhaustive(&c, width).unwrap();
+        }
+    }
+
+    #[test]
+    fn linear_gate_count_linear_depth() {
+        // gates = 10(B−2) + 11(B−1) + 2 = 21B − 29 for B ≥ 2.
+        for width in 2..=24usize {
+            let c = build_serial_two_sort(width);
+            assert_eq!(c.gate_count(), 21 * width - 29, "width {width}");
+        }
+        let d8 = build_serial_two_sort(8).depth();
+        let d16 = build_serial_two_sort(16).depth();
+        let d32 = build_serial_two_sort(32).depth();
+        // Depth grows linearly: doubling width roughly doubles depth.
+        assert!(d16 >= d8 + 20);
+        assert!(d32 >= d16 + 40);
+    }
+
+    #[test]
+    fn uses_only_certified_cells() {
+        assert!(assert_mc_cells_only(&build_serial_two_sort(12)).is_ok());
+    }
+
+    #[test]
+    fn smaller_but_slower_than_optimal() {
+        use mcs_core::two_sort::build_two_sort;
+        use mcs_core::ppc::PrefixTopology;
+        for width in [8usize, 16, 32] {
+            let serial = build_serial_two_sort(width);
+            let optimal = build_two_sort(width, PrefixTopology::LadnerFischer);
+            assert!(serial.gate_count() <= optimal.gate_count());
+            assert!(serial.depth() > optimal.depth());
+        }
+    }
+}

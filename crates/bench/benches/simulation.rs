@@ -1,0 +1,85 @@
+//! Criterion benches for the gate-level simulator itself: scalar vs
+//! 64-lane batched ternary evaluation, exhaustive 2-sort verification, and
+//! full sorting-network simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use mcs_core::ppc::PrefixTopology;
+use mcs_core::two_sort::{
+    build_two_sort, simulate_two_sort, simulate_two_sort_batch,
+    verify_two_sort_exhaustive,
+};
+use mcs_gray::ValidString;
+use mcs_networks::circuit::{build_sorting_circuit, simulate_sorting_circuit, TwoSortFlavor};
+use mcs_networks::optimal::ten_sort_depth;
+
+fn bench_eval(c: &mut Criterion) {
+    let width = 16usize;
+    let circuit = build_two_sort(width, PrefixTopology::LadnerFischer);
+    let pairs: Vec<(ValidString, ValidString)> = (0..64u64)
+        .map(|i| {
+            (
+                ValidString::from_rank(width, 1000 + 17 * i).expect("in range"),
+                ValidString::from_rank(width, 90_000 - 13 * i).expect("in range"),
+            )
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("two_sort16_eval");
+    group.throughput(Throughput::Elements(64));
+    group.bench_function("scalar_64_pairs", |b| {
+        b.iter(|| {
+            for (g, h) in &pairs {
+                black_box(simulate_two_sort(&circuit, g, h));
+            }
+        })
+    });
+    group.bench_function("batched_64_lanes", |b| {
+        b.iter(|| black_box(simulate_two_sort_batch(&circuit, &pairs)))
+    });
+    group.finish();
+}
+
+fn bench_exhaustive_verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exhaustive_verify");
+    group.sample_size(10);
+    for width in [4usize, 6] {
+        let circuit = build_two_sort(width, PrefixTopology::LadnerFischer);
+        let pairs = {
+            let n = ValidString::count(width);
+            n * n
+        };
+        group.throughput(Throughput::Elements(pairs));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(width),
+            &width,
+            |b, &w| {
+                b.iter(|| verify_two_sort_exhaustive(&circuit, w).expect("sorts"))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_network_simulation(c: &mut Criterion) {
+    let width = 8usize;
+    let network = ten_sort_depth();
+    let circuit = build_sorting_circuit(&network, width, TwoSortFlavor::Paper);
+    let inputs: Vec<ValidString> = (0..10u64)
+        .map(|i| ValidString::from_rank(width, 37 * i + 5).expect("in range"))
+        .collect();
+    let mut group = c.benchmark_group("ten_sort_simulation");
+    group.bench_function("10-sortd_8bit_one_vector", |b| {
+        b.iter(|| black_box(simulate_sorting_circuit(&circuit, &inputs)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_eval,
+    bench_exhaustive_verification,
+    bench_network_simulation
+);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Criterion benches for every experiment pipeline: one group per paper
+//! table/figure, timing circuit construction + analysis (the work behind
+//! `repro_figure1` / `repro_table7` / `repro_table8`), plus the ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mcs_baselines::bincomp::build_bincomp;
+use mcs_baselines::bund2017::build_bund2017_two_sort;
+use mcs_bench::measure;
+use mcs_core::ppc::PrefixTopology;
+use mcs_core::two_sort::build_two_sort;
+use mcs_netlist::TechLibrary;
+use mcs_networks::circuit::{build_sorting_circuit, TwoSortFlavor};
+use mcs_networks::optimal::{best_size, ten_sort_depth, ten_sort_size};
+
+/// Figure 1 / Table 7: 2-sort(B) build + area/delay analysis per design.
+fn bench_table7(c: &mut Criterion) {
+    let lib = TechLibrary::paper_calibrated();
+    let mut group = c.benchmark_group("table7_two_sort");
+    for width in [2usize, 4, 8, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("this-paper", width),
+            &width,
+            |b, &w| {
+                b.iter(|| {
+                    let net = build_two_sort(w, PrefixTopology::LadnerFischer);
+                    black_box(measure(&net, &lib))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bund2017-recon", width),
+            &width,
+            |b, &w| {
+                b.iter(|| {
+                    let net = build_bund2017_two_sort(w);
+                    black_box(measure(&net, &lib))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bin-comp", width),
+            &width,
+            |b, &w| {
+                b.iter(|| {
+                    let net = build_bincomp(w);
+                    black_box(measure(&net, &lib))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Table 8: full sorting-network construction + analysis.
+fn bench_table8(c: &mut Criterion) {
+    let lib = TechLibrary::paper_calibrated();
+    let mut group = c.benchmark_group("table8_networks");
+    group.sample_size(10);
+    let nets = [
+        ("4-sort", best_size(4).expect("covered")),
+        ("7-sort", best_size(7).expect("covered")),
+        ("10-sort_size", ten_sort_size()),
+        ("10-sort_depth", ten_sort_depth()),
+    ];
+    for (name, network) in &nets {
+        for width in [2usize, 16] {
+            group.bench_with_input(
+                BenchmarkId::new(*name, width),
+                &width,
+                |b, &w| {
+                    b.iter(|| {
+                        let circ =
+                            build_sorting_circuit(network, w, TwoSortFlavor::Paper);
+                        black_box(measure(&circ, &lib))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Ablation: prefix-topology sweep at B = 16.
+fn bench_ablation(c: &mut Criterion) {
+    let lib = TechLibrary::paper_calibrated();
+    let mut group = c.benchmark_group("ablation_prefix_topology");
+    for topology in PrefixTopology::ALL {
+        group.bench_function(topology.name(), |b| {
+            b.iter(|| {
+                let net = build_two_sort(16, topology);
+                black_box(measure(&net, &lib))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table7, bench_table8, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Ablation (beyond the paper): how much does the choice of prefix
+//! topology matter for `2-sort(B)`?
+//!
+//! The paper commits to the Ladner–Fischer recursion of Figure 4; this
+//! sweep quantifies the design space it sits in:
+//!
+//! * `serial` — the ASYNC 2016 shape: minimal gates, Θ(B) delay.
+//! * `sklansky` — minimal logic depth, more gates and high fanout (which
+//!   the linear delay model penalises).
+//! * `ladner-fischer` — the paper's pick: linear gates, log depth.
+//! * `unshared-recursive` — what you pay without the associativity insight
+//!   of Theorem 4.1: Θ(B log B) gates.
+//!
+//! Run: `cargo run --release -p mcs-bench --bin ablation_prefix`
+
+use mcs_baselines::bincomp::{build_bincomp, build_bincomp_tree};
+use mcs_bench::{format_row, measure, print_header};
+use mcs_core::ppc::PrefixTopology;
+use mcs_core::two_sort::build_two_sort;
+use mcs_netlist::TechLibrary;
+
+fn main() {
+    let lib = TechLibrary::paper_calibrated();
+    println!("Prefix-topology ablation for 2-sort(B) (model: {})", lib.name());
+
+    for width in [4usize, 8, 16, 32, 63] {
+        print_header(&format!("B = {width}"));
+        for topology in PrefixTopology::ALL {
+            let c = build_two_sort(width, topology);
+            let m = measure(&c, &lib);
+            println!("{}", format_row(topology.name(), &m));
+        }
+    }
+
+    print_header("footnote-1 leaf inverter sharing (Ladner–Fischer)");
+    for width in [4usize, 8, 16, 32] {
+        let plain = measure(
+            &mcs_core::two_sort::build_two_sort_ext(
+                width,
+                PrefixTopology::LadnerFischer,
+                false,
+            ),
+            &lib,
+        );
+        let shared = measure(
+            &mcs_core::two_sort::build_two_sort_ext(
+                width,
+                PrefixTopology::LadnerFischer,
+                true,
+            ),
+            &lib,
+        );
+        println!("{}", format_row(&format!("paper form   B={width}"), &plain));
+        println!("{}", format_row(&format!("shared INVs  B={width}"), &shared));
+    }
+
+    print_header("Bin-comp comparator structure (ripple vs tree)");
+    for width in [4usize, 8, 16, 32] {
+        let r = measure(&build_bincomp(width), &lib);
+        let t = measure(&build_bincomp_tree(width), &lib);
+        println!("{}", format_row(&format!("ripple B={width}"), &r));
+        println!("{}", format_row(&format!("tree   B={width}"), &t));
+    }
+
+    println!("\nReading guide:");
+    println!(" * serial wins gates, loses delay linearly in B");
+    println!(" * sklansky wins depth but pays area and fanout-induced delay");
+    println!(" * ladner-fischer is within a constant of both optima — the paper's point");
+    println!(" * unshared-recursive shows the Θ(log B) overhead Theorem 4.1 removes");
+    println!(" * the Bin-comp tree/ripple pair explains the paper's B=16 delay drop");
+}

@@ -1,0 +1,79 @@
+//! Regenerates **Figure 1**: area, delay and gate count of `2-sort(B)` for
+//! B ∈ {2, 4, 8, 16}, this paper versus \[2\] — the same data as Table 7,
+//! presented as the figure's three series (plus improvement factors).
+//!
+//! Run: `cargo run --release -p mcs-bench --bin repro_figure1`
+
+use mcs_baselines::bund2017::build_bund2017_two_sort;
+use mcs_bench::published::{table7, Design, WIDTHS};
+use mcs_bench::{improvement_pct, measure};
+use mcs_core::ppc::PrefixTopology;
+use mcs_core::two_sort::build_two_sort;
+use mcs_netlist::TechLibrary;
+
+fn series(metric: &str, get: impl Fn(usize) -> (f64, f64, f64, f64)) {
+    println!("\n-- {metric} vs B --");
+    println!(
+        "{:>4} {:>12} {:>12} {:>12} {:>12} {:>8}",
+        "B", "here(meas)", "here(paper)", "[2](recon)", "[2](paper)", "gain%"
+    );
+    for width in WIDTHS {
+        let (meas, paper, recon, published) = get(width);
+        println!(
+            "{width:>4} {meas:>12.1} {paper:>12.1} {recon:>12.1} {published:>12.1} {:>8.2}",
+            improvement_pct(paper, published)
+        );
+    }
+}
+
+fn main() {
+    let lib = TechLibrary::paper_calibrated();
+    println!("Figure 1 — 2-sort(B): this paper vs Bund et al. (DATE 2017)");
+
+    let ours: Vec<_> = WIDTHS
+        .iter()
+        .map(|&w| measure(&build_two_sort(w, PrefixTopology::LadnerFischer), &lib))
+        .collect();
+    let recon: Vec<_> = WIDTHS
+        .iter()
+        .map(|&w| measure(&build_bund2017_two_sort(w), &lib))
+        .collect();
+    let idx = |w: usize| WIDTHS.iter().position(|&x| x == w).unwrap();
+
+    series("gate count", |w| {
+        (
+            ours[idx(w)].gates as f64,
+            table7(Design::Here, w).unwrap().gates as f64,
+            recon[idx(w)].gates as f64,
+            table7(Design::Bund2017, w).unwrap().gates as f64,
+        )
+    });
+    series("area [µm²]", |w| {
+        (
+            ours[idx(w)].area_um2,
+            table7(Design::Here, w).unwrap().area_um2,
+            recon[idx(w)].area_um2,
+            table7(Design::Bund2017, w).unwrap().area_um2,
+        )
+    });
+    series("delay [ps]", |w| {
+        (
+            ours[idx(w)].delay_ps,
+            table7(Design::Here, w).unwrap().delay_ps,
+            recon[idx(w)].delay_ps,
+            table7(Design::Bund2017, w).unwrap().delay_ps,
+        )
+    });
+
+    println!(
+        "\nHeadline (B = 16): area −{:.2}%, delay −{:.2}% vs [2] (published).",
+        improvement_pct(
+            table7(Design::Here, 16).unwrap().area_um2,
+            table7(Design::Bund2017, 16).unwrap().area_um2
+        ),
+        improvement_pct(
+            table7(Design::Here, 16).unwrap().delay_ps,
+            table7(Design::Bund2017, 16).unwrap().delay_ps
+        )
+    );
+}

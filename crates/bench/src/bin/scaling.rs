@@ -1,0 +1,67 @@
+//! Scaling study (the paper's closing claim): plugging `2-sort(B)` into an
+//! n-channel sorting network of depth `O(log n)` with `O(n log n)`
+//! comparators yields an MC sorting network of depth `O(log B · log n)` and
+//! `O(B · n log n)` gates.
+//!
+//! AKS networks are galactic, so — as in practice — we sweep Batcher's
+//! odd-even mergesort (`O(n log² n)` comparators) plus the best-known
+//! optimal networks for small n, and report gates/area/delay of the full
+//! MC circuits for B ∈ {4, 8, 16}.
+//!
+//! Run: `cargo run --release -p mcs-bench --bin scaling`
+
+use mcs_bench::{format_row, measure, print_header};
+use mcs_netlist::TechLibrary;
+use mcs_networks::circuit::{build_sorting_circuit, TwoSortFlavor};
+use mcs_networks::generators::batcher_odd_even;
+use mcs_networks::optimal::best_size;
+use mcs_networks::verify::zero_one_verify;
+
+fn main() {
+    let lib = TechLibrary::paper_calibrated();
+    println!("MC sorting-network scaling (model: {})", lib.name());
+
+    for width in [4usize, 8, 16] {
+        print_header(&format!("B = {width}, Batcher odd-even vs optimal"));
+        for n in [4usize, 7, 8, 10, 12, 16, 24, 32] {
+            let batcher = batcher_odd_even(n);
+            // 0-1 verification is exponential in n; beyond 20 channels we
+            // trust the generator (exhaustively tested for n ≤ 20).
+            if n <= 20 {
+                zero_one_verify(&batcher).expect("batcher sorts");
+            }
+            let circuit = build_sorting_circuit(&batcher, width, TwoSortFlavor::Paper);
+            let m = measure(&circuit, &lib);
+            println!(
+                "{}",
+                format_row(
+                    &format!("batcher n={n} ({} CE, d={})", batcher.size(), batcher.depth()),
+                    &m
+                )
+            );
+            if let Some(opt) = best_size(n) {
+                let c2 = build_sorting_circuit(&opt, width, TwoSortFlavor::Paper);
+                let m2 = measure(&c2, &lib);
+                println!(
+                    "{}",
+                    format_row(
+                        &format!("optimal n={n} ({} CE, d={})", opt.size(), opt.depth()),
+                        &m2
+                    )
+                );
+            }
+        }
+    }
+
+    // The asymptotic sanity check the paper's Section 1 promises:
+    // gates ≈ Θ(B · n log² n) for Batcher, delay ≈ Θ(log B · log² n).
+    println!("\ngates per (B · comparator) stays constant (the 2-sort is O(B)):");
+    for n in [8usize, 16, 32] {
+        let net = batcher_odd_even(n);
+        for width in [8usize, 16] {
+            let c = build_sorting_circuit(&net, width, TwoSortFlavor::Paper);
+            let per = c.gate_count() as f64 / (net.size() as f64 * width as f64);
+            println!("  n={n:<3} B={width:<3}: {per:.2} gates / (CE·bit)");
+        }
+    }
+}

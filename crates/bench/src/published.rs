@@ -1,0 +1,215 @@
+//! The paper's published measurements (Tables 7 and 8), carried verbatim so
+//! every bench can print paper-vs-measured side by side.
+
+/// Designs compared in the paper.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub enum Design {
+    /// This paper's 2-sort.
+    Here,
+    /// The DATE 2017 state of the art \[2\].
+    Bund2017,
+    /// The non-containing binary comparator.
+    BinComp,
+}
+
+impl Design {
+    /// All designs, in the paper's row order.
+    pub const ALL: [Design; 3] = [Design::Here, Design::Bund2017, Design::BinComp];
+
+    /// Paper row label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Design::Here => "this paper",
+            Design::Bund2017 => "[2] (DATE 2017)",
+            Design::BinComp => "Bin-comp",
+        }
+    }
+}
+
+/// The paper's sorting-network columns in Table 8.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub enum NetworkKind {
+    /// 5-comparator 4-sorter (optimal).
+    Sort4,
+    /// 16-comparator 7-sorter (optimal).
+    Sort7,
+    /// 29-comparator size-optimal 10-sorter.
+    Sort10Size,
+    /// 31-comparator depth-7 10-sorter.
+    Sort10Depth,
+}
+
+impl NetworkKind {
+    /// All networks, in the paper's column order.
+    pub const ALL: [NetworkKind; 4] = [
+        NetworkKind::Sort4,
+        NetworkKind::Sort7,
+        NetworkKind::Sort10Size,
+        NetworkKind::Sort10Depth,
+    ];
+
+    /// Paper column label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            NetworkKind::Sort4 => "4-sort",
+            NetworkKind::Sort7 => "7-sort",
+            NetworkKind::Sort10Size => "10-sort#",
+            NetworkKind::Sort10Depth => "10-sortd",
+        }
+    }
+
+    /// Comparator count the paper uses for this column.
+    pub const fn comparators(self) -> usize {
+        match self {
+            NetworkKind::Sort4 => 5,
+            NetworkKind::Sort7 => 16,
+            NetworkKind::Sort10Size => 29,
+            NetworkKind::Sort10Depth => 31,
+        }
+    }
+}
+
+/// One published measurement triple.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct PublishedRow {
+    /// Gate count.
+    pub gates: usize,
+    /// Post-layout area in µm².
+    pub area_um2: f64,
+    /// Pre-layout delay in ps.
+    pub delay_ps: f64,
+}
+
+/// Table 7: published 2-sort(B) numbers. `None` for widths the paper does
+/// not report.
+pub fn table7(design: Design, width: usize) -> Option<PublishedRow> {
+    let (gates, area_um2, delay_ps) = match (design, width) {
+        (Design::Here, 2) => (13, 17.486, 119.0),
+        (Design::Here, 4) => (55, 73.752, 362.0),
+        (Design::Here, 8) => (169, 227.29, 516.0),
+        (Design::Here, 16) => (407, 548.016, 805.0),
+        (Design::Bund2017, 2) => (34, 49.42, 268.0),
+        (Design::Bund2017, 4) => (160, 230.3, 498.0),
+        (Design::Bund2017, 8) => (504, 723.52, 827.0),
+        (Design::Bund2017, 16) => (1344, 1928.262, 1233.0),
+        (Design::BinComp, 2) => (8, 15.582, 145.0),
+        (Design::BinComp, 4) => (19, 34.58, 288.0),
+        (Design::BinComp, 8) => (41, 73.752, 477.0),
+        (Design::BinComp, 16) => (81, 151.648, 422.0),
+        _ => return None,
+    };
+    Some(PublishedRow {
+        gates,
+        area_um2,
+        delay_ps,
+    })
+}
+
+/// Table 8: published n-sort numbers. `None` for unreported combinations.
+#[rustfmt::skip]
+pub fn table8(design: Design, network: NetworkKind, width: usize) -> Option<PublishedRow> {
+    use Design::*;
+    use NetworkKind::*;
+    let (gates, area_um2, delay_ps) = match (width, design, network) {
+        (2, Here, Sort4) => (65, 87.402, 357.0),
+        (2, Here, Sort7) => (208, 279.741, 714.0),
+        (2, Here, Sort10Size) => (377, 506.912, 912.0),
+        (2, Here, Sort10Depth) => (403, 541.968, 833.0),
+        (2, Bund2017, Sort4) => (170, 247.016, 846.0),
+        (2, Bund2017, Sort7) => (544, 790.44, 1715.0),
+        (2, Bund2017, Sort10Size) => (986, 1432.62, 2285.0),
+        (2, Bund2017, Sort10Depth) => (1054, 1531.467, 2010.0),
+        (2, BinComp, Sort4) => (40, 77.91, 478.0),
+        (2, BinComp, Sort7) => (128, 249.326, 953.0),
+        (2, BinComp, Sort10Size) => (232, 451.815, 1284.0),
+        (2, BinComp, Sort10Depth) => (248, 483.0, 1145.0),
+
+        (4, Here, Sort4) => (275, 368.641, 640.0),
+        (4, Here, Sort7) => (880, 1179.528, 1014.0),
+        (4, Here, Sort10Size) => (1595, 2137.905, 1235.0),
+        (4, Here, Sort10Depth) => (1705, 2285.514, 1133.0),
+        (4, Bund2017, Sort4) => (800, 1151.472, 1558.0),
+        (4, Bund2017, Sort7) => (2560, 3684.541, 3147.0),
+        (4, Bund2017, Sort10Size) => (4640, 6678.294, 4207.0),
+        (4, Bund2017, Sort10Depth) => (4960, 7138.74, 3681.0),
+        (4, BinComp, Sort4) => (95, 172.935, 906.0),
+        (4, BinComp, Sort7) => (304, 553.28, 1810.0),
+        (4, BinComp, Sort10Size) => (551, 1002.848, 2429.0),
+        (4, BinComp, Sort10Depth) => (589, 1072.099, 2143.0),
+
+        (8, Here, Sort4) => (845, 1136.184, 1396.0),
+        (8, Here, Sort7) => (2704, 3636.08, 1921.0),
+        (8, Here, Sort10Size) => (4901, 6590.283, 2179.0),
+        (8, Here, Sort10Depth) => (5239, 7044.541, 2059.0),
+        (8, Bund2017, Sort4) => (2520, 3617.67, 2394.0),
+        (8, Bund2017, Sort7) => (8064, 11576.32, 4715.0),
+        (8, Bund2017, Sort10Size) => (14616, 20982.542, 6252.0),
+        (8, Bund2017, Sort10Depth) => (15624, 22429.176, 5481.0),
+        (8, BinComp, Sort4) => (205, 368.641, 1475.0),
+        (8, BinComp, Sort7) => (656, 1179.528, 2948.0),
+        (8, BinComp, Sort10Size) => (1189, 2137.905, 3945.0),
+        (8, BinComp, Sort10Depth) => (1271, 2285.514, 3470.0),
+
+        (16, Here, Sort4) => (2035, 2739.961, 2069.0),
+        (16, Here, Sort7) => (6512, 8767.374, 3396.0),
+        (16, Here, Sort10Size) => (11803, 15891.12, 4030.0),
+        (16, Here, Sort10Depth) => (12617, 16987.194, 3844.0),
+        (16, Bund2017, Sort4) => (6720, 9640.75, 3396.0),
+        (16, Bund2017, Sort7) => (21504, 30849.875, 6415.0),
+        (16, Bund2017, Sort10Size) => (38976, 55916.448, 8437.0),
+        (16, Bund2017, Sort10Depth) => (41664, 59772.132, 7458.0),
+        (16, BinComp, Sort4) => (405, 530.67, 1298.0),
+        (16, BinComp, Sort7) => (1296, 2425.99, 2600.0),
+        (16, BinComp, Sort10Size) => (2349, 4397.085, 3474.0),
+        (16, BinComp, Sort10Depth) => (2511, 4700.304, 3050.0),
+        _ => return None,
+    };
+    Some(PublishedRow { gates, area_um2, delay_ps })
+}
+
+/// The widths the paper evaluates.
+pub const WIDTHS: [usize; 4] = [2, 4, 8, 16];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table8_gate_counts_are_comparator_multiples_of_table7() {
+        // Structural consistency of the transcription: every Table 8 gate
+        // count equals (#comparators) × (Table 7 gate count).
+        for width in WIDTHS {
+            for design in Design::ALL {
+                let per = table7(design, width).unwrap().gates;
+                for network in NetworkKind::ALL {
+                    let total = table8(design, network, width).unwrap().gates;
+                    assert_eq!(
+                        total,
+                        per * network.comparators(),
+                        "{design:?} {network:?} B={width}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn headline_improvements() {
+        // Abstract: 48.46% delay and 71.58% area improvement for 10-channel
+        // 16-bit sorting networks.
+        let here = table8(Design::Here, NetworkKind::Sort10Depth, 16).unwrap();
+        let old = table8(Design::Bund2017, NetworkKind::Sort10Depth, 16).unwrap();
+        let delay_gain = 100.0 * (1.0 - here.delay_ps / old.delay_ps);
+        assert!((delay_gain - 48.46).abs() < 0.05, "{delay_gain}");
+        let here7 = table7(Design::Here, 16).unwrap();
+        let old7 = table7(Design::Bund2017, 16).unwrap();
+        let area_gain = 100.0 * (1.0 - here7.area_um2 / old7.area_um2);
+        assert!((area_gain - 71.58).abs() < 0.05, "{area_gain}");
+    }
+
+    #[test]
+    fn unreported_cells_are_none() {
+        assert!(table7(Design::Here, 3).is_none());
+        assert!(table8(Design::Here, NetworkKind::Sort4, 32).is_none());
+    }
+}

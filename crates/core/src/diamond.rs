@@ -1,0 +1,218 @@
+//! The `⋄̂_M` operator block: 10 gates, depth 3.
+//!
+//! The circuit works in "N-form": for a state pair `s = (s1, s2)` define
+//! `N s = (s̄1, s2)`. The block computes `x ⋄̂_M y = N(Nx ⋄_M Ny)` on N-form
+//! inputs, which by Theorem 4.1 behaves associatively on all inputs arising
+//! from valid strings. Keeping the first component inverted lets both
+//! products of each output share the block's two inverters.
+//!
+//! Output formulas (first components already inverted):
+//!
+//! ```text
+//! (x ⋄̂ y)₁ = x₁·(x₂ + y₁) + x₂·ȳ₁
+//! (x ⋄̂ y)₂ = x₁·(x₂ + y₂) + x₂·ȳ₂
+//! ```
+//!
+//! Each line is one [`selection`] circuit (Table 6, rows 1–2); the two
+//! inverters produce `ȳ₁`, `ȳ₂`.
+
+use mcs_netlist::{Netlist, NodeId};
+
+use crate::ppc::PrefixOperator;
+use crate::selection::{selection, SelectionInputs};
+
+/// An FSM state in N-form: `x1 = s̄1`, `x2 = s2`.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub struct StatePair {
+    /// Inverted first state bit (`s̄1`).
+    pub x1: NodeId,
+    /// Second state bit (`s2`).
+    pub x2: NodeId,
+}
+
+/// Builds one `⋄̂_M` block: 4 AND + 4 OR + 2 INV, depth 3.
+///
+/// `x` is the earlier (left) operand, `y` the later (right) one, both in
+/// N-form; the result is their combined state in N-form.
+pub fn diamond_block(n: &mut Netlist, x: StatePair, y: StatePair) -> StatePair {
+    diamond_block_with_bypass(n, x, y, None)
+}
+
+/// Like [`diamond_block`], but when `ny1_bypass` is given it is used as the
+/// already-available complement of `y.x1` instead of spending an inverter.
+///
+/// This is the paper's footnote 1: at the leaves of the prefix network
+/// `y.x1` is `ḡ_i` (the δ̂ input inverter's output), so its complement is
+/// the original input wire `g_i` — one inverter saved per leaf-consuming
+/// operator. See
+/// [`build_two_sort_ext`](crate::two_sort::build_two_sort_ext).
+pub fn diamond_block_with_bypass(
+    n: &mut Netlist,
+    x: StatePair,
+    y: StatePair,
+    ny1_bypass: Option<NodeId>,
+) -> StatePair {
+    let ny1 = ny1_bypass.unwrap_or_else(|| n.inv(y.x1));
+    let ny2 = n.inv(y.x2);
+    let o1 = selection(
+        n,
+        SelectionInputs {
+            a: x.x2,
+            b: x.x1,
+            sel1: y.x1,
+            sel2: ny1,
+        },
+    );
+    let o2 = selection(
+        n,
+        SelectionInputs {
+            a: x.x2,
+            b: x.x1,
+            sel1: y.x2,
+            sel2: ny2,
+        },
+    );
+    StatePair { x1: o1, x2: o2 }
+}
+
+/// [`PrefixOperator`] implementation wrapping [`diamond_block`], for use
+/// with the parallel prefix framework.
+///
+/// With [`DiamondOp::with_leaf_bypass`], operators whose right operand is a
+/// leaf element `δ̂_i = (ḡ_i, h_i)` reuse the original wire `g_i` as the
+/// complement of `ḡ_i` instead of spending an inverter (footnote 1).
+#[derive(Clone, Debug, Default)]
+pub struct DiamondOp {
+    /// Maps a leaf element's `x1` node (`ḡ_i`) to the original `g_i` wire.
+    bypass: std::collections::HashMap<NodeId, NodeId>,
+}
+
+impl DiamondOp {
+    /// The plain operator, exactly as counted in the paper's Table 7.
+    pub fn new() -> DiamondOp {
+        DiamondOp::default()
+    }
+
+    /// An operator with footnote-1 inverter sharing: `pairs` maps each leaf
+    /// `ḡ_i` node to its original `g_i` wire.
+    pub fn with_leaf_bypass(
+        pairs: impl IntoIterator<Item = (NodeId, NodeId)>,
+    ) -> DiamondOp {
+        DiamondOp {
+            bypass: pairs.into_iter().collect(),
+        }
+    }
+}
+
+impl PrefixOperator for DiamondOp {
+    fn element_width(&self) -> usize {
+        2
+    }
+
+    fn combine(&self, n: &mut Netlist, left: &[NodeId], right: &[NodeId]) -> Vec<NodeId> {
+        let out = diamond_block_with_bypass(
+            n,
+            StatePair {
+                x1: left[0],
+                x2: left[1],
+            },
+            StatePair {
+                x1: right[0],
+                x2: right[1],
+            },
+            self.bypass.get(&right[0]).copied(),
+        );
+        vec![out.x1, out.x2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_gray::fsm::{diamond, diamond_m};
+    use mcs_logic::Trit;
+    use mcs_netlist::mc::assert_mc_cells_only;
+
+    fn build() -> Netlist {
+        let mut n = Netlist::new("diamond_hat");
+        let x1 = n.input("x1");
+        let x2 = n.input("x2");
+        let y1 = n.input("y1");
+        let y2 = n.input("y2");
+        let out = diamond_block(
+            &mut n,
+            StatePair { x1, x2 },
+            StatePair { x1: y1, x2: y2 },
+        );
+        n.set_output("o1", out.x1);
+        n.set_output("o2", out.x2);
+        n
+    }
+
+    #[test]
+    fn structure_is_10_gates_depth_3() {
+        let n = build();
+        assert_eq!(n.gate_count(), 10);
+        assert_eq!(n.depth(), 3);
+        assert!(assert_mc_cells_only(&n).is_ok());
+        let counts = n.cell_counts();
+        assert_eq!(counts[&mcs_netlist::CellKind::And2], 4);
+        assert_eq!(counts[&mcs_netlist::CellKind::Or2], 4);
+        assert_eq!(counts[&mcs_netlist::CellKind::Inv], 2);
+    }
+
+    /// `N` on trit pairs.
+    fn n_form(p: (Trit, Trit)) -> (Trit, Trit) {
+        (!p.0, p.1)
+    }
+
+    #[test]
+    fn implements_diamond_hat_on_stable_inputs() {
+        let net = build();
+        for s in 0..4u8 {
+            for b in 0..4u8 {
+                let sp = (s & 2 != 0, s & 1 != 0);
+                let bp = (b & 2 != 0, b & 1 != 0);
+                let want = diamond(sp, bp);
+                // Feed N-forms, read N-form result.
+                let input = vec![
+                    Trit::from(!sp.0),
+                    Trit::from(sp.1),
+                    Trit::from(!bp.0),
+                    Trit::from(bp.1),
+                ];
+                let out = net.eval(&input);
+                assert_eq!(
+                    (out[0], out[1]),
+                    (Trit::from(!want.0), Trit::from(want.1)),
+                    "s={sp:?} b={bp:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn implements_closure_on_all_81_ternary_inputs() {
+        // The gate-level block equals N ∘ ⋄_M ∘ (N × N) on *every* ternary
+        // input combination — the property footnote 2 warns is structural.
+        let net = build();
+        for a1 in Trit::ALL {
+            for a2 in Trit::ALL {
+                for b1 in Trit::ALL {
+                    for b2 in Trit::ALL {
+                        let out = net.eval(&[a1, a2, b1, b2]);
+                        let want = n_form(diamond_m(
+                            n_form((a1, a2)),
+                            n_form((b1, b2)),
+                        ));
+                        assert_eq!(
+                            (out[0], out[1]),
+                            want,
+                            "x=({a1},{a2}) y=({b1},{b2})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

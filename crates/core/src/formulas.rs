@@ -1,0 +1,125 @@
+//! Closed-form cost and depth formulas for the paper's `2-sort(B)`.
+//!
+//! The construction of Figure 5 consists of:
+//!
+//! * `B − 1` input inverters (building the N-form pairs `δ̂_i`),
+//! * one prefix network over `B − 1` elements, each operator 10 gates,
+//! * one degenerate first output column (2 gates),
+//! * `B − 1` full `out_M` columns (10 gates each).
+//!
+//! So `gates(B) = 10·C(B−1) + 11·(B−1) + 2` with `C(·)` the topology's
+//! operator count; for Ladner–Fischer at the paper's widths this gives the
+//! Table 7 column: 13, 55, 169, 407.
+
+use crate::ppc::PrefixTopology;
+
+/// Gate count of `2-sort(B)` under a prefix topology — the closed form the
+/// constructed netlist is tested to match exactly.
+///
+/// ```
+/// use mcs_core::formulas::two_sort_gate_count;
+/// use mcs_core::ppc::PrefixTopology;
+///
+/// assert_eq!(two_sort_gate_count(16, PrefixTopology::LadnerFischer), 407);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `width` is zero.
+pub fn two_sort_gate_count(width: usize, topology: PrefixTopology) -> usize {
+    assert!(width > 0, "width must be positive");
+    if width == 1 {
+        return 2;
+    }
+    let n = width - 1;
+    10 * topology.op_count(n) + 11 * n + 2
+}
+
+/// Gate count of the paper's circuit (Ladner–Fischer topology).
+pub fn two_sort_gate_count_paper(width: usize) -> usize {
+    two_sort_gate_count(width, PrefixTopology::LadnerFischer)
+}
+
+/// Upper bound on the logic depth of `2-sort(B)`: one input inverter, three
+/// levels per prefix-operator level, three levels for the output column.
+///
+/// The measured depth can be slightly smaller because the operator blocks
+/// have a two-level path from their left (state) inputs; this bound is what
+/// equation (3) predicts with `delay(OP) = 3`.
+pub fn two_sort_depth_bound(width: usize, topology: PrefixTopology) -> usize {
+    assert!(width > 0, "width must be positive");
+    if width == 1 {
+        return 1;
+    }
+    1 + 3 * topology.op_depth(width - 1) + 3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ppc::PrefixTopology;
+    use crate::two_sort::build_two_sort;
+
+    #[test]
+    fn formula_matches_construction_for_all_topologies() {
+        for topology in PrefixTopology::ALL {
+            for width in 1..=24usize {
+                let c = build_two_sort(width, topology);
+                assert_eq!(
+                    c.gate_count(),
+                    two_sort_gate_count(width, topology),
+                    "{} width {width}",
+                    topology.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_values() {
+        assert_eq!(two_sort_gate_count_paper(2), 13);
+        assert_eq!(two_sort_gate_count_paper(4), 55);
+        assert_eq!(two_sort_gate_count_paper(8), 169);
+        assert_eq!(two_sort_gate_count_paper(16), 407);
+    }
+
+    #[test]
+    fn depth_bound_holds_and_is_tight_ish() {
+        for topology in PrefixTopology::ALL {
+            for width in 2..=20usize {
+                let c = build_two_sort(width, topology);
+                let measured = c.depth() as usize;
+                let bound = two_sort_depth_bound(width, topology);
+                assert!(
+                    measured <= bound,
+                    "{} width {width}: measured {measured} > bound {bound}",
+                    topology.name()
+                );
+                // The bound should not be wildly loose either.
+                assert!(
+                    measured + 2 * topology.op_depth(width - 1) + 2 >= bound,
+                    "{} width {width}: bound {bound} too loose for {measured}",
+                    topology.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_depths_for_ladner_fischer() {
+        // DAG-depth bound: 4 / 10 / 13 / 19 for B = 2 / 4 / 8 / 16. The
+        // paper's stage-count accounting (eq. 3 with delay(OP) = 3) gives
+        // the slightly looser 4 / 10 / 19 / 25.
+        let lf = PrefixTopology::LadnerFischer;
+        assert_eq!(two_sort_depth_bound(2, lf), 4);
+        assert_eq!(two_sort_depth_bound(4, lf), 10);
+        assert_eq!(two_sort_depth_bound(8, lf), 13);
+        assert_eq!(two_sort_depth_bound(16, lf), 19);
+        // And eq. (3) stage counts dominate the DAG depths.
+        use crate::ppc::ppc_delay_formula_pow2;
+        for b in [2usize, 4, 8, 16] {
+            let stage_bound = 1 + 3 * ppc_delay_formula_pow2(b) + 3;
+            assert!(two_sort_depth_bound(b, lf) <= stage_bound);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! The asymptotically optimal metastability-containing `2-sort(B)` of Bund,
+//! Lenzen & Medina (DATE 2018), built gate by gate.
+//!
+//! # Construction (paper Sections 4–5)
+//!
+//! Comparing two B-bit Gray code strings is a finite state machine whose
+//! transition operator `⋄` is associative — even, on valid inputs, under the
+//! metastable closure (Theorem 4.1). The circuit therefore:
+//!
+//! 1. forms, for each bit position `i < B−1`, the pair
+//!    `δ̂_i = N(g_i h_i) = (ḡ_i, h_i)` (one inverter per position; the
+//!    first-bit-inverted "N-form" saves inverters inside the operator
+//!    blocks),
+//! 2. feeds them to a **parallel prefix computation** (Ladner–Fischer,
+//!    Figure 4) over the 10-gate [`diamond`] block implementing `⋄̂_M`,
+//!    producing every prefix state `ŝ^(i)_M` in depth `O(log B)` with
+//!    `O(B)` gates,
+//! 3. converts each prefix state plus the raw input pair `(g_i, h_i)` into
+//!    the output bits `max_i, min_i` with the 10-gate [`outm`] block
+//!    (`out_M`, Theorem 4.3); the first column, whose state is the constant
+//!    initial state, degenerates to one AND and one OR.
+//!
+//! Both operator blocks are instances of one 4-gate *selection circuit*
+//! (Figure 3 / Table 6) plus two inverters.
+//!
+//! The resulting gate counts are exactly the paper's: 13 / 55 / 169 / 407
+//! gates for B = 2 / 4 / 8 / 16.
+//!
+//! # Example
+//!
+//! ```
+//! use mcs_core::two_sort::{build_two_sort, simulate_two_sort};
+//! use mcs_core::ppc::PrefixTopology;
+//! use mcs_gray::ValidString;
+//!
+//! let circuit = build_two_sort(4, PrefixTopology::LadnerFischer);
+//! assert_eq!(circuit.gate_count(), 55);
+//!
+//! let g: ValidString = "0M10".parse().unwrap(); // between 3 and 4
+//! let h: ValidString = "0110".parse().unwrap(); // 4
+//! let (max, min) = simulate_two_sort(&circuit, &g, &h);
+//! assert_eq!(max.to_string(), "0110");
+//! assert_eq!(min.to_string(), "0M10");
+//! ```
+
+pub mod diamond;
+pub mod formulas;
+pub mod outm;
+pub mod ppc;
+pub mod selection;
+pub mod two_sort;
+
+pub use diamond::{diamond_block, DiamondOp, StatePair};
+pub use outm::{out_block, out_block_initial};
+pub use ppc::{prefix_network, PrefixOperator, PrefixTopology};
+pub use selection::{selection, SelectionInputs};
+pub use two_sort::{build_two_sort, build_two_sort_ext, simulate_two_sort};

@@ -1,0 +1,155 @@
+//! The `out_M` operator block: turns a prefix state (in N-form) and the raw
+//! input pair `(g_i, h_i)` into the output bits `max_i`, `min_i`.
+//!
+//! With `u1 = s̄1`, `u2 = s2` (the N-form wires delivered by the prefix
+//! network), the formulas of Section 5.1 read:
+//!
+//! ```text
+//! max_i = b₂·(b₁ + u₁) + b₁·ū₂
+//! min_i = b₁·(b₂ + u₂) + b₂·ū₁
+//! ```
+//!
+//! Each is one [`selection`] circuit (Table 6, rows 3–4); the block's two
+//! inverters produce `ū₁`, `ū₂` — 10 gates, depth 3 in total.
+//!
+//! The first output column is special: its state is the constant initial
+//! state `s^(0) = 00`, for which the block degenerates to one OR and one
+//! AND ([`out_block_initial`]).
+
+use mcs_netlist::{Netlist, NodeId};
+
+use crate::diamond::StatePair;
+use crate::selection::{selection, SelectionInputs};
+
+/// Builds one `out_M` block: inputs are the previous prefix state `s` in
+/// N-form and the raw bit pair `(b1, b2) = (g_i, h_i)`; returns
+/// `(max_i, min_i)`. 4 AND + 4 OR + 2 INV, depth 3.
+pub fn out_block(
+    n: &mut Netlist,
+    s: StatePair,
+    b1: NodeId,
+    b2: NodeId,
+) -> (NodeId, NodeId) {
+    let nu1 = n.inv(s.x1);
+    let nu2 = n.inv(s.x2);
+    let max_i = selection(
+        n,
+        SelectionInputs {
+            a: b1,
+            b: b2,
+            sel1: s.x1,
+            sel2: nu2,
+        },
+    );
+    let min_i = selection(
+        n,
+        SelectionInputs {
+            a: b2,
+            b: b1,
+            sel1: s.x2,
+            sel2: nu1,
+        },
+    );
+    (max_i, min_i)
+}
+
+/// The degenerate first-column block for the constant initial state
+/// `s^(0) = 00` (N-form `(1, 0)`): `max_1 = g_1 + h_1`, `min_1 = g_1 · h_1`.
+/// One OR and one AND.
+pub fn out_block_initial(n: &mut Netlist, b1: NodeId, b2: NodeId) -> (NodeId, NodeId) {
+    let max_i = n.or2(b1, b2);
+    let min_i = n.and2(b1, b2);
+    (max_i, min_i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_gray::fsm::{out, out_m};
+    use mcs_logic::Trit;
+    use mcs_netlist::mc::assert_mc_cells_only;
+
+    fn build() -> Netlist {
+        let mut n = Netlist::new("out_m");
+        let u1 = n.input("u1");
+        let u2 = n.input("u2");
+        let b1 = n.input("b1");
+        let b2 = n.input("b2");
+        let (mx, mn) = out_block(&mut n, StatePair { x1: u1, x2: u2 }, b1, b2);
+        n.set_output("max", mx);
+        n.set_output("min", mn);
+        n
+    }
+
+    #[test]
+    fn structure_is_10_gates_depth_3() {
+        let n = build();
+        assert_eq!(n.gate_count(), 10);
+        assert_eq!(n.depth(), 3);
+        assert!(assert_mc_cells_only(&n).is_ok());
+    }
+
+    #[test]
+    fn implements_out_on_stable_inputs() {
+        let net = build();
+        for s in 0..4u8 {
+            for b in 0..4u8 {
+                let sp = (s & 2 != 0, s & 1 != 0);
+                let bp = (b & 2 != 0, b & 1 != 0);
+                let want = out(sp, bp);
+                let input = vec![
+                    Trit::from(!sp.0), // u1 = s̄1
+                    Trit::from(sp.1),  // u2 = s2
+                    Trit::from(bp.0),
+                    Trit::from(bp.1),
+                ];
+                let o = net.eval(&input);
+                assert_eq!(
+                    (o[0], o[1]),
+                    (Trit::from(want.0), Trit::from(want.1)),
+                    "out({sp:?}, {bp:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn implements_out_m_closure_on_all_81_ternary_inputs() {
+        let net = build();
+        for u1 in Trit::ALL {
+            for u2 in Trit::ALL {
+                for b1 in Trit::ALL {
+                    for b2 in Trit::ALL {
+                        let o = net.eval(&[u1, u2, b1, b2]);
+                        // The block receives N-form state wires: s = (ū1, u2).
+                        let want = out_m((!u1, u2), (b1, b2));
+                        assert_eq!((o[0], o[1]), want, "u=({u1},{u2}) b=({b1},{b2})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn initial_block_matches_initial_state_semantics() {
+        // out(00, b) = (b1 + b2, b1·b2); check the reduced block equals the
+        // full block with the constant initial state, on all ternary pairs.
+        let mut reduced = Netlist::new("reduced");
+        let b1 = reduced.input("b1");
+        let b2 = reduced.input("b2");
+        let (mx, mn) = out_block_initial(&mut reduced, b1, b2);
+        reduced.set_output("max", mx);
+        reduced.set_output("min", mn);
+        assert_eq!(reduced.gate_count(), 2);
+
+        let full = build();
+        for b1 in Trit::ALL {
+            for b2 in Trit::ALL {
+                let r = reduced.eval(&[b1, b2]);
+                // N-form of state 00 is (1, 0).
+                let f = full.eval(&[Trit::One, Trit::Zero, b1, b2]);
+                assert_eq!(r, f, "b=({b1},{b2})");
+            }
+        }
+    }
+}

@@ -1,0 +1,423 @@
+//! The parallel prefix computation (PPC) framework of Ladner & Fischer, as
+//! used in Figure 4 of the paper, generic over the operator block and the
+//! prefix topology.
+//!
+//! Given elements `δ_0 … δ_{n−1}` and an associative operator `OP`, a prefix
+//! network computes every `π_i = δ_0 OP … OP δ_i`. The paper uses the
+//! recursive construction of Figure 4, whose cost for powers of two is
+//! `2n − log₂ n − 2` operators at `2 log₂ n − 1` operator levels
+//! (equation (3); the constructed DAG can be one level shallower because
+//! the recursion's output stage does not lengthen every path). Alternative
+//! topologies are provided for ablation studies and for the baseline
+//! reconstructions:
+//!
+//! * [`PrefixTopology::LadnerFischer`] — the paper's Figure 4 recursion.
+//! * [`PrefixTopology::Serial`] — a chain: `n−1` operators, depth `n−1`
+//!   (the shape of the ASYNC 2016 sequential approach).
+//! * [`PrefixTopology::Sklansky`] — minimum depth `⌈log₂ n⌉`, about
+//!   `(n/2)·log₂ n` operators, high fanout.
+//! * [`PrefixTopology::UnsharedRecursive`] — divide and conquer *without*
+//!   sharing the left-half total with the left prefix computation:
+//!   `Θ(n log n)` operators. This is the asymptotic shape of the DATE 2017
+//!   predecessor design and powers the `bund2017` baseline.
+//!
+//! Every topology is implemented once as a recursion over an abstract
+//! combine function; netlist construction, operator counting and depth
+//! analysis all reuse the same recursion, so the reported numbers cannot
+//! drift from the built circuits.
+
+use mcs_netlist::{Netlist, NodeId};
+
+/// An associative operator block that the prefix network instantiates.
+///
+/// Elements are fixed-width bundles of wires; `combine(left, right)` must
+/// append gates computing `left OP right` and return the result bundle.
+pub trait PrefixOperator {
+    /// Number of wires per element (2 for the `⋄̂_M` state pairs).
+    fn element_width(&self) -> usize;
+
+    /// Builds one operator instance combining an earlier (`left`) and later
+    /// (`right`) element.
+    fn combine(
+        &self,
+        n: &mut Netlist,
+        left: &[NodeId],
+        right: &[NodeId],
+    ) -> Vec<NodeId>;
+}
+
+/// Prefix network topology.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, Default)]
+pub enum PrefixTopology {
+    /// The paper's Figure 4 recursion (Ladner–Fischer).
+    #[default]
+    LadnerFischer,
+    /// Linear chain, depth `n−1`.
+    Serial,
+    /// Minimum-depth divide and conquer with shared left totals.
+    Sklansky,
+    /// Divide and conquer recomputing left totals: `Θ(n log n)` operators.
+    UnsharedRecursive,
+}
+
+impl PrefixTopology {
+    /// All topologies, for sweeps.
+    pub const ALL: [PrefixTopology; 4] = [
+        PrefixTopology::LadnerFischer,
+        PrefixTopology::Serial,
+        PrefixTopology::Sklansky,
+        PrefixTopology::UnsharedRecursive,
+    ];
+
+    /// Short name for reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            PrefixTopology::LadnerFischer => "ladner-fischer",
+            PrefixTopology::Serial => "serial",
+            PrefixTopology::Sklansky => "sklansky",
+            PrefixTopology::UnsharedRecursive => "unshared-recursive",
+        }
+    }
+
+    fn run_generic<T: Clone>(
+        self,
+        items: &[T],
+        op: &mut dyn FnMut(&T, &T) -> T,
+    ) -> Vec<T> {
+        match self {
+            PrefixTopology::LadnerFischer => lf_generic(items, op),
+            PrefixTopology::Serial => serial_generic(items, op),
+            PrefixTopology::Sklansky => sk_generic(items, op),
+            PrefixTopology::UnsharedRecursive => un_generic(items, op),
+        }
+    }
+
+    /// Number of operator instances used for `n` elements.
+    pub fn op_count(self, n: usize) -> usize {
+        assert!(n > 0, "prefix network over no elements");
+        let mut count = 0usize;
+        let items = vec![(); n];
+        let _ = self.run_generic(&items, &mut |_, _| count += 1);
+        count
+    }
+
+    /// Depth in operator levels for `n` elements — the longest operator
+    /// chain in the constructed DAG (inputs at level 0).
+    pub fn op_depth(self, n: usize) -> usize {
+        assert!(n > 0, "prefix network over no elements");
+        let items = vec![0usize; n];
+        let out = self.run_generic(&items, &mut |a, b| a.max(b) + 1);
+        out.into_iter().max().unwrap_or(0)
+    }
+}
+
+/// Equation (3), cost half: `2n − log₂ n − 2` operators for a power of two.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two or is zero.
+pub fn ppc_cost_formula_pow2(n: usize) -> usize {
+    assert!(n.is_power_of_two(), "equation (3) applies to powers of two");
+    2 * n - n.ilog2() as usize - 2
+}
+
+/// Equation (3), delay half: `2 log₂ n − 1` operator levels for a power of
+/// two (`n ≥ 2`). This is the paper's stage count; the constructed DAG's
+/// longest path ([`PrefixTopology::op_depth`]) can be one level shorter.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two or is less than 2.
+pub fn ppc_delay_formula_pow2(n: usize) -> usize {
+    assert!(
+        n.is_power_of_two() && n >= 2,
+        "equation (3) needs a power of two ≥ 2"
+    );
+    2 * n.ilog2() as usize - 1
+}
+
+/// Builds a prefix network over `items`, returning the `n` prefixes
+/// `π_0 … π_{n−1}` (with `π_0 = δ_0` passed through).
+///
+/// # Panics
+///
+/// Panics if `items` is empty or any element has the wrong width.
+pub fn prefix_network(
+    n: &mut Netlist,
+    op: &dyn PrefixOperator,
+    items: &[Vec<NodeId>],
+    topology: PrefixTopology,
+) -> Vec<Vec<NodeId>> {
+    assert!(!items.is_empty(), "prefix network over no elements");
+    for e in items {
+        assert_eq!(e.len(), op.element_width(), "element width mismatch");
+    }
+    let mut combine =
+        |a: &Vec<NodeId>, b: &Vec<NodeId>| -> Vec<NodeId> { op.combine(n, a, b) };
+    let out = topology.run_generic(items, &mut combine);
+    debug_assert_eq!(out.len(), items.len());
+    out
+}
+
+fn serial_generic<T: Clone>(items: &[T], op: &mut dyn FnMut(&T, &T) -> T) -> Vec<T> {
+    let mut out: Vec<T> = Vec::with_capacity(items.len());
+    out.push(items[0].clone());
+    for item in &items[1..] {
+        let next = op(out.last().expect("non-empty"), item);
+        out.push(next);
+    }
+    out
+}
+
+/// The Figure 4 recursion: pair adjacent elements, recurse, then fill even
+/// positions. An odd trailing element passes into the inner network
+/// unchanged (the figure's dashed wire).
+fn lf_generic<T: Clone>(items: &[T], op: &mut dyn FnMut(&T, &T) -> T) -> Vec<T> {
+    let count = items.len();
+    if count == 1 {
+        return items.to_vec();
+    }
+    let mut pairs: Vec<T> = Vec::with_capacity(count.div_ceil(2));
+    for i in 0..count / 2 {
+        pairs.push(op(&items[2 * i], &items[2 * i + 1]));
+    }
+    if count % 2 == 1 {
+        pairs.push(items[count - 1].clone());
+    }
+    let inner = lf_generic(&pairs, op);
+    let mut out = Vec::with_capacity(count);
+    out.push(items[0].clone());
+    for k in 1..count {
+        if k % 2 == 1 {
+            out.push(inner[(k - 1) / 2].clone());
+        } else if k == count - 1 {
+            // Odd n: the final prefix includes the pass-through element and
+            // comes straight out of the inner network.
+            out.push(inner[k / 2].clone());
+        } else {
+            out.push(op(&inner[k / 2 - 1], &items[k]));
+        }
+    }
+    out
+}
+
+fn sk_generic<T: Clone>(items: &[T], op: &mut dyn FnMut(&T, &T) -> T) -> Vec<T> {
+    let count = items.len();
+    if count == 1 {
+        return items.to_vec();
+    }
+    let mid = count.div_ceil(2);
+    let left = sk_generic(&items[..mid], op);
+    let right = sk_generic(&items[mid..], op);
+    let left_total = left.last().expect("non-empty").clone();
+    let mut out = left;
+    for r in &right {
+        out.push(op(&left_total, r));
+    }
+    out
+}
+
+fn un_generic<T: Clone>(items: &[T], op: &mut dyn FnMut(&T, &T) -> T) -> Vec<T> {
+    let count = items.len();
+    if count == 1 {
+        return items.to_vec();
+    }
+    let mid = count.div_ceil(2);
+    let left = un_generic(&items[..mid], op);
+    let right = un_generic(&items[mid..], op);
+    // Recompute the left total with a fresh balanced tree — deliberately
+    // not reusing `left.last()`, reproducing the Θ(n log n) redundancy of
+    // prefix computation without sharing.
+    let left_total = tree_fold_generic(&items[..mid], op);
+    let mut out = left;
+    for r in &right {
+        out.push(op(&left_total, r));
+    }
+    out
+}
+
+fn tree_fold_generic<T: Clone>(items: &[T], op: &mut dyn FnMut(&T, &T) -> T) -> T {
+    match items.len() {
+        0 => unreachable!("fold over no elements"),
+        1 => items[0].clone(),
+        len => {
+            let mid = len.div_ceil(2);
+            let l = tree_fold_generic(&items[..mid], op);
+            let r = tree_fold_generic(&items[mid..], op);
+            op(&l, &r)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_logic::Trit;
+
+    /// Width-1 OR operator: prefix-OR network, easy to verify.
+    struct OrOp;
+
+    impl PrefixOperator for OrOp {
+        fn element_width(&self) -> usize {
+            1
+        }
+
+        fn combine(
+            &self,
+            n: &mut Netlist,
+            left: &[NodeId],
+            right: &[NodeId],
+        ) -> Vec<NodeId> {
+            vec![n.or2(left[0], right[0])]
+        }
+    }
+
+    fn build_prefix_or(n_items: usize, topology: PrefixTopology) -> Netlist {
+        let mut net = Netlist::new(format!("prefix_or_{}_{n_items}", topology.name()));
+        let items: Vec<Vec<NodeId>> = (0..n_items)
+            .map(|i| vec![net.input(format!("d{i}"))])
+            .collect();
+        let prefixes = prefix_network(&mut net, &OrOp, &items, topology);
+        for (i, p) in prefixes.iter().enumerate() {
+            net.set_output(format!("p{i}"), p[0]);
+        }
+        net
+    }
+
+    #[test]
+    fn all_topologies_compute_prefixes() {
+        for topology in PrefixTopology::ALL {
+            for n_items in 1..=17usize {
+                let net = build_prefix_or(n_items, topology);
+                // One-hot inputs: prefix i is 1 iff i ≥ j.
+                for j in 0..n_items {
+                    let inputs: Vec<Trit> = (0..n_items)
+                        .map(|i| Trit::from(i == j))
+                        .collect();
+                    let out = net.eval(&inputs);
+                    for (i, o) in out.iter().enumerate() {
+                        let want = Trit::from(i >= j);
+                        assert_eq!(
+                            *o, want,
+                            "{} n={n_items} one-hot at {j}, prefix {i}",
+                            topology.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn op_counts_match_construction() {
+        for topology in PrefixTopology::ALL {
+            for n_items in 1..=33usize {
+                let net = build_prefix_or(n_items, topology);
+                assert_eq!(
+                    net.gate_count(),
+                    topology.op_count(n_items),
+                    "{} n={n_items}",
+                    topology.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn op_depths_match_construction() {
+        for topology in PrefixTopology::ALL {
+            for n_items in 1..=33usize {
+                let net = build_prefix_or(n_items, topology);
+                assert_eq!(
+                    net.depth() as usize,
+                    topology.op_depth(n_items),
+                    "{} n={n_items}",
+                    topology.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn equation_3_bounds_ladner_fischer_for_powers_of_two() {
+        for k in 1..=6u32 {
+            let n = 1usize << k;
+            assert_eq!(
+                PrefixTopology::LadnerFischer.op_count(n),
+                ppc_cost_formula_pow2(n),
+                "cost at n={n}"
+            );
+            // The stage-count formula is an upper bound on the DAG depth,
+            // tight to within one level.
+            let measured = PrefixTopology::LadnerFischer.op_depth(n);
+            let formula = ppc_delay_formula_pow2(n);
+            assert!(measured <= formula, "depth at n={n}");
+            assert!(measured + 1 >= formula, "depth at n={n} too shallow");
+        }
+    }
+
+    #[test]
+    fn paper_op_counts_for_two_sort_widths() {
+        // The operator counts behind the paper's 2-sort(B) gate counts:
+        // B−1 elements for B = 2, 4, 8, 16.
+        let lf = PrefixTopology::LadnerFischer;
+        assert_eq!(lf.op_count(1), 0);
+        assert_eq!(lf.op_count(3), 2);
+        assert_eq!(lf.op_count(7), 9);
+        assert_eq!(lf.op_count(15), 24);
+    }
+
+    #[test]
+    fn serial_is_linear_sklansky_is_logdepth() {
+        assert_eq!(PrefixTopology::Serial.op_count(16), 15);
+        assert_eq!(PrefixTopology::Serial.op_depth(16), 15);
+        assert_eq!(PrefixTopology::Sklansky.op_depth(16), 4);
+        assert_eq!(PrefixTopology::Sklansky.op_count(16), 32);
+        // Unshared recomputation is strictly more expensive than LF.
+        for n in [8usize, 15, 16, 31] {
+            assert!(
+                PrefixTopology::UnsharedRecursive.op_count(n)
+                    > PrefixTopology::LadnerFischer.op_count(n)
+            );
+        }
+    }
+
+    #[test]
+    fn unshared_grows_superlinearly() {
+        // op_count(n)/n must keep growing: Θ(n log n).
+        let r8 = PrefixTopology::UnsharedRecursive.op_count(8) as f64 / 8.0;
+        let r64 = PrefixTopology::UnsharedRecursive.op_count(64) as f64 / 64.0;
+        let r512 = PrefixTopology::UnsharedRecursive.op_count(512) as f64 / 512.0;
+        assert!(r64 > r8 + 0.5);
+        assert!(r512 > r64 + 0.5);
+        // While LF stays linear (< 2 ops per element).
+        assert!(PrefixTopology::LadnerFischer.op_count(512) < 2 * 512);
+    }
+
+    #[test]
+    fn exhaustive_boolean_check_small_sizes() {
+        // For n ≤ 6 check every boolean input vector on every topology.
+        for topology in PrefixTopology::ALL {
+            for n_items in 1..=6usize {
+                let net = build_prefix_or(n_items, topology);
+                for bits in 0..(1u32 << n_items) {
+                    let inputs: Vec<Trit> = (0..n_items)
+                        .map(|i| Trit::from((bits >> i) & 1 == 1))
+                        .collect();
+                    let out = net.eval(&inputs);
+                    let mut acc = false;
+                    for (i, o) in out.iter().enumerate() {
+                        acc |= (bits >> i) & 1 == 1;
+                        assert_eq!(*o, Trit::from(acc));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "applies to powers of two")]
+    fn formula_rejects_non_powers() {
+        let _ = ppc_cost_formula_pow2(12);
+    }
+}

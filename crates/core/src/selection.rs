@@ -1,0 +1,96 @@
+//! The selection circuit of Figure 3: the shared 4-gate core of both the
+//! `⋄̂_M` and `out_M` operator blocks.
+
+use mcs_netlist::{Netlist, NodeId};
+
+/// Inputs of the selection circuit (Figure 3): two data inputs `a`, `b` and
+/// two select inputs `sel1`, `sel2`. Table 6 lists how the `⋄̂_M` and
+/// `out_M` operands map onto these pins.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub struct SelectionInputs {
+    /// Data input `a`.
+    pub a: NodeId,
+    /// Data input `b`.
+    pub b: NodeId,
+    /// First select input.
+    pub sel1: NodeId,
+    /// Second select input.
+    pub sel2: NodeId,
+}
+
+/// Builds the selection circuit
+/// `f = (b · (a + sel1)) + (a · sel2)`
+/// — 2 AND and 2 OR gates, depth 3.
+///
+/// With select pins driven by complementary signals this is a
+/// metastability-containing multiplexer (a `mux_M`/"cmux" in the sense of
+/// Friedrichs et al.); the exact gate-level structure matters — footnote 2
+/// of the paper shows a boolean-equivalent product form that fails to
+/// contain metastability (reproduced as a test in `mcs-netlist::mc`).
+///
+/// ```
+/// use mcs_core::{selection, SelectionInputs};
+/// use mcs_netlist::Netlist;
+///
+/// let mut n = Netlist::new("sel");
+/// let a = n.input("a");
+/// let b = n.input("b");
+/// let s1 = n.input("sel1");
+/// let s2 = n.input("sel2");
+/// let f = selection(&mut n, SelectionInputs { a, b, sel1: s1, sel2: s2 });
+/// n.set_output("f", f);
+/// assert_eq!(n.gate_count(), 4);
+/// assert_eq!(n.depth(), 3);
+/// ```
+pub fn selection(n: &mut Netlist, pins: SelectionInputs) -> NodeId {
+    let a_or_sel1 = n.or2(pins.a, pins.sel1);
+    let left = n.and2(pins.b, a_or_sel1);
+    let right = n.and2(pins.a, pins.sel2);
+    n.or2(left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_logic::Trit;
+    use mcs_netlist::mc::{assert_mc_cells_only, verify_closure_exhaustive};
+
+    fn build() -> Netlist {
+        let mut n = Netlist::new("selection");
+        let a = n.input("a");
+        let b = n.input("b");
+        let sel1 = n.input("sel1");
+        let sel2 = n.input("sel2");
+        let f = selection(&mut n, SelectionInputs { a, b, sel1, sel2 });
+        n.set_output("f", f);
+        n
+    }
+
+    #[test]
+    fn structure() {
+        let n = build();
+        assert_eq!(n.gate_count(), 4);
+        assert_eq!(n.depth(), 3);
+        assert!(assert_mc_cells_only(&n).is_ok());
+    }
+
+    #[test]
+    fn boolean_function() {
+        let n = build();
+        for bits in 0..16u32 {
+            let v: Vec<bool> = (0..4).map(|i| (bits >> i) & 1 == 1).collect();
+            let (a, b, s1, s2) = (v[0], v[1], v[2], v[3]);
+            let want = (b && (a || s1)) || (a && s2);
+            let input: Vec<Trit> = v.iter().map(|&x| Trit::from(x)).collect();
+            assert_eq!(n.eval(&input), vec![Trit::from(want)], "{v:?}");
+        }
+    }
+
+    #[test]
+    fn closure_exact_on_all_ternary_inputs() {
+        // The chosen formula structure computes the metastable closure of
+        // its boolean function on all 81 input combinations.
+        let n = build();
+        assert!(verify_closure_exhaustive(&n).is_ok());
+    }
+}

@@ -1,0 +1,259 @@
+//! Binary reflected Gray code: encoding, decoding, parity and the
+//! structural lemmas of Section 3.
+
+use mcs_logic::TritVec;
+
+/// Encodes `x` as a `width`-bit binary reflected Gray codeword `rg_B(x)`,
+/// MSB (the paper's `g_1`) first.
+///
+/// The recursive definition of the paper coincides with the classic
+/// `x ⊕ (x >> 1)` formulation, which is what we use; the equivalence is
+/// asserted by the `matches_recursive_definition` test.
+///
+/// ```
+/// use mcs_gray::code::gray_encode;
+/// // Table 1: rg_4(11) = 1110.
+/// assert_eq!(gray_encode(11, 4).to_string(), "1110");
+/// ```
+///
+/// # Panics
+///
+/// Panics if `width` is 0 or exceeds 63, or if `x ≥ 2^width`.
+pub fn gray_encode(x: u64, width: usize) -> TritVec {
+    assert!(width > 0 && width <= 63, "width must be in 1..=63");
+    assert!(x < (1u64 << width), "value {x} does not fit in {width} bits");
+    TritVec::from_uint(x ^ (x >> 1), width)
+}
+
+/// Decodes a stable binary reflected Gray codeword (MSB first) to its value
+/// `⟨g⟩`.
+///
+/// Returns `None` if the string contains a metastable bit.
+///
+/// ```
+/// use mcs_gray::code::{gray_decode, gray_encode};
+/// for x in 0..16 {
+///     assert_eq!(gray_decode(&gray_encode(x, 4)), Some(x));
+/// }
+/// ```
+pub fn gray_decode(g: &TritVec) -> Option<u64> {
+    let mut acc = false;
+    let mut value = 0u64;
+    for t in g.iter() {
+        acc ^= t.to_bool()?;
+        value = (value << 1) | u64::from(acc);
+    }
+    Some(value)
+}
+
+/// The parity `par(g)` of a stable string: the XOR of all bits.
+///
+/// Returns `None` if any bit is metastable.
+pub fn parity(g: &TritVec) -> Option<bool> {
+    let mut p = false;
+    for t in g.iter() {
+        p ^= t.to_bool()?;
+    }
+    Some(p)
+}
+
+/// Recursive definition of `rg_B` exactly as printed in the paper
+/// (Section 2), used to validate [`gray_encode`].
+///
+/// # Panics
+///
+/// Same conditions as [`gray_encode`].
+pub fn gray_encode_recursive(x: u64, width: usize) -> TritVec {
+    assert!(width > 0 && width <= 63);
+    assert!(x < (1u64 << width));
+    fn rec(x: u64, width: usize, out: &mut Vec<bool>) {
+        if width == 1 {
+            out.push(x == 1);
+            return;
+        }
+        let half = 1u64 << (width - 1);
+        if x < half {
+            out.push(false);
+            rec(x, width - 1, out);
+        } else {
+            out.push(true);
+            rec((1u64 << width) - 1 - x, width - 1, out);
+        }
+    }
+    let mut bits = Vec::with_capacity(width);
+    rec(x, width, &mut bits);
+    TritVec::from_bools(&bits)
+}
+
+/// The index (0-based) of the single bit in which `rg(x)` and `rg(x+1)`
+/// differ. Adjacent Gray codewords differ in exactly one position; this is
+/// the position that may go metastable during a measurement of a value
+/// between `x` and `x+1`.
+///
+/// # Panics
+///
+/// Panics if `x + 1 ≥ 2^width` or `width` is out of range.
+pub fn toggle_position(x: u64, width: usize) -> usize {
+    let a = gray_encode(x, width);
+    let b = gray_encode(x + 1, width);
+    let mut pos = None;
+    for i in 0..width {
+        if a[i] != b[i] {
+            assert!(pos.is_none(), "adjacent codewords differ in one bit");
+            pos = Some(i);
+        }
+    }
+    pos.expect("adjacent codewords differ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 1 of the paper, verbatim.
+    const TABLE_1: [(u64, &str); 16] = [
+        (0, "0000"),
+        (1, "0001"),
+        (2, "0011"),
+        (3, "0010"),
+        (4, "0110"),
+        (5, "0111"),
+        (6, "0101"),
+        (7, "0100"),
+        (8, "1100"),
+        (9, "1101"),
+        (10, "1111"),
+        (11, "1110"),
+        (12, "1010"),
+        (13, "1011"),
+        (14, "1001"),
+        (15, "1000"),
+    ];
+
+    #[test]
+    fn matches_table_1() {
+        for (x, s) in TABLE_1 {
+            assert_eq!(gray_encode(x, 4).to_string(), s, "rg_4({x})");
+            assert_eq!(gray_decode(&s.parse().unwrap()), Some(x));
+        }
+    }
+
+    #[test]
+    fn matches_recursive_definition() {
+        for width in 1..=10usize {
+            for x in 0..(1u64 << width) {
+                assert_eq!(
+                    gray_encode(x, width),
+                    gray_encode_recursive(x, width),
+                    "rg_{width}({x})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_wide() {
+        for width in [16usize, 32, 48, 63] {
+            for x in [
+                0u64,
+                1,
+                (1 << width) - 1,
+                (1 << width) / 2,
+                0x5555_5555_5555_5555 & ((1 << width) - 1),
+            ] {
+                assert_eq!(gray_decode(&gray_encode(x, width)), Some(x));
+            }
+        }
+    }
+
+    #[test]
+    fn code_is_a_bijection() {
+        use std::collections::HashSet;
+        let all: HashSet<String> = (0..256)
+            .map(|x| gray_encode(x, 8).to_string())
+            .collect();
+        assert_eq!(all.len(), 256);
+    }
+
+    #[test]
+    fn adjacent_codewords_differ_in_one_bit() {
+        for width in 1..=8usize {
+            for x in 0..(1u64 << width) - 1 {
+                let _ = toggle_position(x, width); // panics if not exactly one
+            }
+        }
+    }
+
+    #[test]
+    fn parity_counts_up_transitions() {
+        // The parity of rg(x) equals x mod 2: each increment flips exactly
+        // one bit, so parity alternates starting from par(rg(0)) = 0.
+        for x in 0..512u64 {
+            let g = gray_encode(x, 9);
+            assert_eq!(parity(&g), Some(x % 2 == 1), "par(rg({x}))");
+        }
+    }
+
+    #[test]
+    fn parity_and_decode_reject_metastable() {
+        let m: TritVec = "0M10".parse().unwrap();
+        assert_eq!(gray_decode(&m), None);
+        assert_eq!(parity(&m), None);
+    }
+
+    #[test]
+    fn lemma_3_2_first_differing_bit() {
+        // Lemma 3.2: if <g> > <h> and i is the first differing index, then
+        // g_i = 1 iff par(g_{1,i-1}) = 0.
+        let width = 7usize;
+        for x in 0..(1u64 << width) {
+            for y in 0..x {
+                let g = gray_encode(x, width);
+                let h = gray_encode(y, width);
+                let i = (0..width).find(|&k| g[k] != h[k]).unwrap();
+                let prefix_par = parity(&g.slice(0, i)).unwrap();
+                let gi = g[i].to_bool().unwrap();
+                assert_eq!(gi, !prefix_par, "x={x} y={y} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn observation_3_1_substrings_count_up_and_down() {
+        // Removing a prefix/suffix of the code and deleting immediate
+        // repetitions yields repeated up/down counting of the shorter code.
+        let width = 6usize;
+        for i in 0..width {
+            for j in (i + 1)..=width {
+                let sub_width = j - i;
+                // Collect deduplicated subwords over the full code sequence.
+                let mut seq: Vec<u64> = Vec::new();
+                for x in 0..(1u64 << width) {
+                    let sub = gray_encode(x, width).slice(i, j);
+                    let v = gray_decode(&sub).unwrap();
+                    if seq.last() != Some(&v) {
+                        seq.push(v);
+                    }
+                }
+                // The sequence must zig-zag over 0..2^sub_width - 1 with
+                // direction reversing exactly at the extremes.
+                let top = (1u64 << sub_width) - 1;
+                assert_eq!(seq[0], 0);
+                let mut dir_up = true;
+                for w in seq.windows(2) {
+                    let (a, b) = (w[0], w[1]);
+                    if dir_up {
+                        assert_eq!(b, a + 1, "i={i} j={j}");
+                    } else {
+                        assert_eq!(b + 1, a, "i={i} j={j}");
+                    }
+                    if b == top {
+                        dir_up = false;
+                    } else if b == 0 {
+                        dir_up = true;
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Binary reflected Gray code and the *valid strings* of Bund, Lenzen &
+//! Medina, *Optimal Metastability-Containing Sorting Networks* (DATE 2018).
+//!
+//! Measurement devices such as metastability-aware time-to-digital
+//! converters deliver values in **binary reflected Gray code** where at most
+//! one bit — the currently-toggling one — may be metastable. Such strings
+//! are called *valid strings* (Definition 2.3): either a codeword `rg_B(x)`
+//! or the superposition `rg_B(x) ∗ rg_B(x+1)` of two adjacent codewords.
+//!
+//! This crate provides:
+//!
+//! * [`code`] — encoding/decoding of binary reflected Gray code and the
+//!   structural facts the paper relies on (parity, Lemma 3.2,
+//!   Observation 3.1).
+//! * [`valid`] — the [`ValidString`] type, its
+//!   enumeration, and its *rank* in the total order of Table 2.
+//! * [`order`] — the specification-level `max^rg_M` / `min^rg_M` operators,
+//!   computed both via the order (Table 2) and via the metastable closure
+//!   (Definition 2.7/2.8), which the paper shows coincide.
+//! * [`fsm`] — the 4-state comparison FSM (Figure 2), the `⋄` and `out`
+//!   operators (Tables 4 and 5), their metastable closures, and a
+//!   sequential reference implementation of `2-sort(B)`.
+//!
+//! Everything here is *specification*: pure software models that the
+//! gate-level circuits in `mcs-core` are tested against.
+//!
+//! # Example
+//!
+//! ```
+//! use mcs_gray::code::gray_encode;
+//! use mcs_gray::valid::ValidString;
+//! use mcs_gray::order::max_min_spec;
+//!
+//! // rg_4(3) = 0010 and rg_4(4) = 0110; between them lies 0M10.
+//! let a = ValidString::between(4, 3).unwrap();   // 0M10
+//! let b = ValidString::stable(4, 3).unwrap();    // 0010 encodes 3
+//! assert_eq!(a.to_string(), "0M10");
+//! assert_eq!(gray_encode(3, 4).to_string(), "0010");
+//!
+//! let (max, min) = max_min_spec(&a, &b);
+//! assert_eq!(max.to_string(), "0M10"); // the uncertain value dominates 3
+//! assert_eq!(min.to_string(), "0010");
+//! ```
+
+pub mod code;
+pub mod fsm;
+pub mod order;
+pub mod valid;
+
+pub use code::{gray_decode, gray_encode, parity};
+pub use fsm::{CmpState, Fsm};
+pub use order::{max_min_closure, max_min_spec};
+pub use valid::ValidString;

@@ -1,0 +1,159 @@
+//! The output specification of `2-sort(B)` (Definition 2.8): `max^rg_M` and
+//! `min^rg_M` on valid strings, computed two independent ways.
+//!
+//! 1. [`max_min_spec`] uses the *total order* on valid strings (Table 2):
+//!    the valid string between `x` and `x+1` sits strictly between the
+//!    codewords of `x` and `x+1`.
+//! 2. [`max_min_closure`] uses the raw *metastable closure* definition:
+//!    resolve all metastable bits in both inputs, take `max`/`min` of every
+//!    resolution pair, and superpose the results.
+//!
+//! The paper (citing \[2\]) states these coincide; the tests verify it
+//! exhaustively for small widths, and `mcs-core` verifies its circuits
+//! against both.
+
+use mcs_logic::TritVec;
+
+use crate::code::gray_decode;
+use crate::valid::ValidString;
+
+/// `(max^rg_M{g,h}, min^rg_M{g,h})` via the total order on valid strings:
+/// simply the rank-wise larger and smaller of the two inputs.
+///
+/// ```
+/// use mcs_gray::{max_min_spec, ValidString};
+///
+/// let g: ValidString = "0M10".parse().unwrap(); // between 3 and 4
+/// let h: ValidString = "0110".parse().unwrap(); // 4
+/// let (max, min) = max_min_spec(&g, &h);
+/// assert_eq!(max.to_string(), "0110");
+/// assert_eq!(min.to_string(), "0M10");
+/// ```
+///
+/// # Panics
+///
+/// Panics if the widths differ.
+pub fn max_min_spec(g: &ValidString, h: &ValidString) -> (ValidString, ValidString) {
+    assert_eq!(g.width(), h.width(), "2-sort inputs must share a width");
+    if g.rank() >= h.rank() {
+        (g.clone(), h.clone())
+    } else {
+        (h.clone(), g.clone())
+    }
+}
+
+/// `(max^rg_M{g,h}, min^rg_M{g,h})` by the metastable-closure definition
+/// (Definitions 2.7 and 2.8): superpose `max`/`min` over all resolution
+/// pairs. Returns raw ternary strings (which the paper proves are again
+/// valid strings — see the `closure_outputs_are_valid` test).
+///
+/// # Panics
+///
+/// Panics if the widths differ.
+pub fn max_min_closure(g: &ValidString, h: &ValidString) -> (TritVec, TritVec) {
+    assert_eq!(g.width(), h.width(), "2-sort inputs must share a width");
+    let mut acc: Option<(TritVec, TritVec)> = None;
+    for rg in g.bits().resolutions() {
+        for rh in h.bits().resolutions() {
+            let x = gray_decode(&rg).expect("resolutions are stable");
+            let y = gray_decode(&rh).expect("resolutions are stable");
+            let (mx, mn) = if x >= y {
+                (rg.clone(), rh.clone())
+            } else {
+                (rh.clone(), rg.clone())
+            };
+            acc = Some(match acc {
+                None => (mx, mn),
+                Some((amx, amn)) => (amx.superpose(&mx), amn.superpose(&mn)),
+            });
+        }
+    }
+    acc.expect("at least one resolution pair")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_and_closure_coincide_exhaustively() {
+        // The equivalence claimed in Definition 2.8 / [2], exhaustively for
+        // widths 1..=5 over all pairs of valid strings.
+        for width in 1..=5usize {
+            for g in ValidString::enumerate(width) {
+                for h in ValidString::enumerate(width) {
+                    let (smx, smn) = max_min_spec(&g, &h);
+                    let (cmx, cmn) = max_min_closure(&g, &h);
+                    assert_eq!(*smx.bits(), cmx, "max of {g},{h}");
+                    assert_eq!(*smn.bits(), cmn, "min of {g},{h}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn closure_outputs_are_valid_strings() {
+        for g in ValidString::enumerate(5) {
+            for h in ValidString::enumerate(5) {
+                let (mx, mn) = max_min_closure(&g, &h);
+                assert!(ValidString::new(mx.clone()).is_ok(), "max {mx}");
+                assert!(ValidString::new(mn.clone()).is_ok(), "min {mn}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_examples() {
+        // The three worked examples below Definition 2.8.
+        let cases = [
+            ("1001", "1000", "1000"), // max = rg(15)
+            ("0M10", "0010", "0M10"), // max = rg(3) ∗ rg(4)
+            ("0M10", "0110", "0110"), // max = rg(4)
+        ];
+        for (g, h, want) in cases {
+            let g: ValidString = g.parse().unwrap();
+            let h: ValidString = h.parse().unwrap();
+            let (mx, _) = max_min_spec(&g, &h);
+            assert_eq!(mx.to_string(), want);
+            let (cmx, _) = max_min_closure(&g, &h);
+            assert_eq!(cmx.to_string(), want);
+        }
+    }
+
+    #[test]
+    fn max_min_partition_the_inputs() {
+        // {max, min} == {g, h} as multisets (the 2-sort never invents bits).
+        for g in ValidString::enumerate(4) {
+            for h in ValidString::enumerate(4) {
+                let (mx, mn) = max_min_spec(&g, &h);
+                assert!(
+                    (mx == g && mn == h) || (mx == h && mn == g),
+                    "2-sort must permute its inputs: {g},{h} -> {mx},{mn}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn idempotent_and_commutative() {
+        for g in ValidString::enumerate(4).step_by(3) {
+            for h in ValidString::enumerate(4).step_by(2) {
+                let (mx1, mn1) = max_min_spec(&g, &h);
+                let (mx2, mn2) = max_min_spec(&h, &g);
+                assert_eq!(mx1, mx2);
+                assert_eq!(mn1, mn2);
+                let (mx3, mn3) = max_min_spec(&g, &g);
+                assert_eq!(mx3, g);
+                assert_eq!(mn3, g);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "share a width")]
+    fn width_mismatch_panics() {
+        let g: ValidString = "01".parse().unwrap();
+        let h: ValidString = "011".parse().unwrap();
+        let _ = max_min_spec(&g, &h);
+    }
+}

@@ -1,0 +1,165 @@
+//! The metastable closure `f_M` of a boolean function (Definition 2.7).
+//!
+//! Given `f : {0,1}^n → {0,1}^k`, its closure
+//! `f_M : {0,1,M}^n → {0,1,M}^k` is obtained by applying `f` to every
+//! resolution of the input and superposing the results:
+//!
+//! ```text
+//! f_M(x) = ∗ f(res(x))
+//! ```
+//!
+//! This is the worst-case semantics of a circuit with metastable inputs: an
+//! output bit is stable only if **every** possible resolution of the
+//! metastable inputs agrees on it.
+
+use crate::resolution::Resolutions;
+use crate::trit::Trit;
+use crate::vec::TritVec;
+
+/// Metastable closure of a single-output boolean function.
+///
+/// Evaluates `f` on all `2^m` resolutions of `inputs` (where `m` is the
+/// number of metastable inputs) and superposes the results.
+///
+/// ```
+/// use mcs_logic::{closure_fn, Trit};
+///
+/// // XOR cannot mask metastability: any M input forces an M output.
+/// let xor = |bits: &[bool]| bits[0] ^ bits[1];
+/// assert_eq!(closure_fn(&[Trit::Meta, Trit::One], xor), Trit::Meta);
+/// // AND with a stable 0 masks it.
+/// let and = |bits: &[bool]| bits[0] && bits[1];
+/// assert_eq!(closure_fn(&[Trit::Meta, Trit::Zero], and), Trit::Zero);
+/// ```
+///
+/// # Panics
+///
+/// Panics if more than 63 inputs are metastable.
+pub fn closure_fn(inputs: &[Trit], f: impl Fn(&[bool]) -> bool) -> Trit {
+    let mut acc: Option<Trit> = None;
+    for resolution in Resolutions::new(inputs) {
+        let bools = resolution
+            .to_bools()
+            .expect("resolutions are always stable");
+        let out = Trit::from(f(&bools));
+        acc = Some(match acc {
+            None => out,
+            Some(prev) => prev.superpose(out),
+        });
+        if acc == Some(Trit::Meta) {
+            break; // superposition can never recover from M
+        }
+    }
+    acc.expect("at least one resolution exists")
+}
+
+/// Metastable closure of a multi-output boolean function.
+///
+/// Like [`closure_fn`] but for `f : {0,1}^n → {0,1}^k`; the closure is taken
+/// component-wise over the joint set of resolutions.
+///
+/// # Panics
+///
+/// Panics if `f` returns differing lengths for different resolutions, or if
+/// more than 63 inputs are metastable.
+pub fn closure_fn_multi(
+    inputs: &[Trit],
+    f: impl Fn(&[bool]) -> Vec<bool>,
+) -> TritVec {
+    let mut acc: Option<TritVec> = None;
+    for resolution in Resolutions::new(inputs) {
+        let bools = resolution
+            .to_bools()
+            .expect("resolutions are always stable");
+        let out = TritVec::from_bools(&f(&bools));
+        acc = Some(match acc {
+            None => out,
+            Some(prev) => {
+                assert_eq!(
+                    prev.len(),
+                    out.len(),
+                    "boolean function returned inconsistent output widths"
+                );
+                prev.superpose(&out)
+            }
+        });
+    }
+    acc.expect("at least one resolution exists")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_of_identity_is_identity() {
+        for t in Trit::ALL {
+            assert_eq!(closure_fn(&[t], |b| b[0]), t);
+        }
+    }
+
+    #[test]
+    fn closure_of_constant_ignores_metastability() {
+        assert_eq!(closure_fn(&[Trit::Meta, Trit::Meta], |_| true), Trit::One);
+        assert_eq!(closure_fn(&[Trit::Meta], |_| false), Trit::Zero);
+    }
+
+    #[test]
+    fn closure_of_mux_keeps_stable_output_when_data_agree() {
+        // mux(sel, a, b): metastable select with a == b must yield the
+        // common value — the canonical "CMUX" containment property.
+        let mux = |bits: &[bool]| if bits[0] { bits[1] } else { bits[2] };
+        assert_eq!(
+            closure_fn(&[Trit::Meta, Trit::One, Trit::One], mux),
+            Trit::One
+        );
+        assert_eq!(
+            closure_fn(&[Trit::Meta, Trit::One, Trit::Zero], mux),
+            Trit::Meta
+        );
+    }
+
+    #[test]
+    fn closure_multi_componentwise() {
+        // Full adder on (a, b): (sum, carry).
+        let half_adder = |bits: &[bool]| vec![bits[0] ^ bits[1], bits[0] && bits[1]];
+        let out = closure_fn_multi(&[Trit::Meta, Trit::Zero], half_adder);
+        // sum = M (xor propagates), carry = 0 (AND with 0 masks).
+        assert_eq!(out.to_string(), "M0");
+    }
+
+    #[test]
+    fn closure_matches_brute_force_for_three_inputs() {
+        // Cross-check closure_fn against an independent brute-force
+        // enumeration for the majority function on all 27 input combos.
+        let maj = |b: &[bool]| (b[0] as u8 + b[1] as u8 + b[2] as u8) >= 2;
+        for a in Trit::ALL {
+            for b in Trit::ALL {
+                for c in Trit::ALL {
+                    let quick = closure_fn(&[a, b, c], maj);
+                    let mut seen0 = false;
+                    let mut seen1 = false;
+                    for ra in [false, true].into_iter().filter(|&x| a.can_be(x)) {
+                        for rb in [false, true].into_iter().filter(|&x| b.can_be(x)) {
+                            for rc in
+                                [false, true].into_iter().filter(|&x| c.can_be(x))
+                            {
+                                if maj(&[ra, rb, rc]) {
+                                    seen1 = true;
+                                } else {
+                                    seen0 = true;
+                                }
+                            }
+                        }
+                    }
+                    let expect = match (seen0, seen1) {
+                        (true, false) => Trit::Zero,
+                        (false, true) => Trit::One,
+                        _ => Trit::Meta,
+                    };
+                    assert_eq!(quick, expect, "majority closure at ({a},{b},{c})");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Ternary (Kleene) logic substrate for metastability-containing circuits.
+//!
+//! This crate models the worst-case digital abstraction of metastability used
+//! by Bund, Lenzen & Medina, *Optimal Metastability-Containing Sorting
+//! Networks* (DATE 2018): a signal is either a clean `0`, a clean `1`, or
+//! metastable `M` — an arbitrary, possibly time-varying voltage between the
+//! rails.
+//!
+//! The crate provides four layers:
+//!
+//! * [`Trit`] — a single ternary value with the gate semantics of the paper's
+//!   Table 3 (Kleene strong three-valued logic for AND/OR/NOT).
+//! * [`TritVec`] — a ternary bit string such as `01M0`, with parsing,
+//!   formatting and the `∗` superposition operator (Definition 2.1).
+//! * [`TritWord`] — 64 independent ternary lanes packed into two `u64`
+//!   bit-planes, for fast batched circuit simulation.
+//! * [`closure`] — the *metastable closure* `f_M(x) = ∗ f(res(x))`
+//!   (Definition 2.7): evaluate a boolean function on every resolution of the
+//!   input and superpose the results.
+//!
+//! # Example
+//!
+//! ```
+//! use mcs_logic::{Trit, TritVec};
+//!
+//! // Table 3: an AND gate with one stable 0 input masks metastability.
+//! assert_eq!(Trit::Zero & Trit::Meta, Trit::Zero);
+//! assert_eq!(Trit::One & Trit::Meta, Trit::Meta);
+//!
+//! // The superposition of the Gray codewords for 3 and 4 is 0M10.
+//! let a: TritVec = "0010".parse().unwrap();
+//! let b: TritVec = "0110".parse().unwrap();
+//! assert_eq!(a.superpose(&b).to_string(), "0M10");
+//! ```
+
+pub mod closure;
+pub mod resolution;
+pub mod table;
+pub mod trit;
+pub mod vec;
+pub mod word;
+
+pub use closure::{closure_fn, closure_fn_multi};
+pub use resolution::{superpose_slices, Resolutions};
+pub use table::{Implicant, TruthTable};
+pub use trit::{ParseTritError, Trit};
+pub use vec::TritVec;
+pub use word::TritWord;

@@ -1,0 +1,160 @@
+//! Resolutions `res(x)` (Definition 2.5) and superposition helpers.
+
+use crate::trit::Trit;
+use crate::vec::TritVec;
+
+/// Iterator over all resolutions of a ternary string: every stable string
+/// obtained by substituting each `M` with 0 or 1 (Definition 2.5).
+///
+/// `M` acts as a wild card, so a string with `m` metastable positions has
+/// exactly `2^m` resolutions. The iterator yields them in lexicographic
+/// order of the substituted bits (all-zeros substitution first).
+///
+/// Created by [`TritVec::resolutions`] or [`Resolutions::new`].
+#[derive(Clone, Debug)]
+pub struct Resolutions {
+    template: Vec<Trit>,
+    meta_positions: Vec<usize>,
+    next: u64,
+    total: u64,
+}
+
+impl Resolutions {
+    /// Creates the iterator for an arbitrary trit slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice contains more than 63 metastable positions (the
+    /// resolution count would overflow; valid strings have at most one).
+    pub fn new(bits: &[Trit]) -> Resolutions {
+        let meta_positions: Vec<usize> = bits
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_meta())
+            .map(|(i, _)| i)
+            .collect();
+        assert!(
+            meta_positions.len() < 64,
+            "too many metastable bits to enumerate resolutions"
+        );
+        Resolutions {
+            template: bits.to_vec(),
+            total: 1u64 << meta_positions.len(),
+            meta_positions,
+            next: 0,
+        }
+    }
+
+    /// Total number of resolutions (`2^m`).
+    pub fn count_total(&self) -> u64 {
+        self.total
+    }
+}
+
+impl Iterator for Resolutions {
+    type Item = TritVec;
+
+    fn next(&mut self) -> Option<TritVec> {
+        if self.next >= self.total {
+            return None;
+        }
+        let mut out = self.template.clone();
+        for (k, &pos) in self.meta_positions.iter().enumerate() {
+            out[pos] = Trit::from((self.next >> k) & 1 == 1);
+        }
+        self.next += 1;
+        Some(TritVec::from(out))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = (self.total - self.next) as usize;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for Resolutions {}
+
+/// Superposition `∗S` of a non-empty set of equal-length strings
+/// (Observation 2.2).
+///
+/// # Panics
+///
+/// Panics if `items` is empty or the lengths differ.
+///
+/// ```
+/// use mcs_logic::{superpose_slices, TritVec};
+/// let a: TritVec = "0010".parse().unwrap();
+/// let b: TritVec = "0110".parse().unwrap();
+/// let s = superpose_slices([&a, &b]);
+/// assert_eq!(s.to_string(), "0M10");
+/// ```
+pub fn superpose_slices<'a, I>(items: I) -> TritVec
+where
+    I: IntoIterator<Item = &'a TritVec>,
+{
+    let mut iter = items.into_iter();
+    let first = iter.next().expect("superposition of an empty set");
+    let mut acc = first.clone();
+    for item in iter {
+        acc = acc.superpose(item);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_string_has_single_resolution() {
+        let v: TritVec = "0110".parse().unwrap();
+        let rs: Vec<TritVec> = v.resolutions().collect();
+        assert_eq!(rs, vec![v]);
+    }
+
+    #[test]
+    fn one_meta_gives_two_resolutions() {
+        let v: TritVec = "0M10".parse().unwrap();
+        let rs: Vec<String> = v.resolutions().map(|r| r.to_string()).collect();
+        assert_eq!(rs, ["0010", "0110"]);
+    }
+
+    #[test]
+    fn two_metas_give_four_resolutions() {
+        let v: TritVec = "MM".parse().unwrap();
+        let rs: Vec<String> = v.resolutions().map(|r| r.to_string()).collect();
+        assert_eq!(rs, ["00", "10", "01", "11"]);
+        assert_eq!(v.resolutions().count_total(), 4);
+        assert_eq!(v.resolutions().len(), 4);
+    }
+
+    #[test]
+    fn observation_2_6_superpose_of_resolutions_is_identity() {
+        for s in ["M", "01M", "M0M1", "0110", "MMM"] {
+            let v: TritVec = s.parse().unwrap();
+            let rs: Vec<TritVec> = v.resolutions().collect();
+            assert_eq!(superpose_slices(rs.iter()), v);
+        }
+    }
+
+    #[test]
+    fn observation_2_6_set_contained_in_res_of_superposition() {
+        // For any set S, S ⊆ res(∗S).
+        let set: Vec<TritVec> = ["0010", "0110", "0011"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let sup = superpose_slices(set.iter());
+        let res: Vec<TritVec> = sup.resolutions().collect();
+        for s in &set {
+            assert!(res.contains(s), "{s} not in res({sup})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty set")]
+    fn superpose_empty_panics() {
+        let empty: Vec<&TritVec> = Vec::new();
+        let _ = superpose_slices(empty);
+    }
+}

@@ -1,0 +1,400 @@
+//! [`TruthTable`]: small boolean functions as bit-packed tables, with
+//! metastable-closure evaluation and prime-implicant enumeration.
+//!
+//! The paper's operator blocks are hand-crafted circuits whose gate-level
+//! structure happens to compute the metastable closure of their boolean
+//! function. This module provides the machinery to do the same
+//! *systematically*: represent a function `f : {0,1}^n → {0,1}` as a truth
+//! table, compute `f_M` directly, and enumerate the prime implicants whose
+//! two-level realisation is guaranteed closure-exact (see
+//! `mcs-netlist::synth`).
+
+use std::fmt;
+
+use crate::trit::Trit;
+
+/// A boolean function of up to 6 inputs, stored as a bit-packed truth
+/// table (`bit i` = output for the input whose variable `k` equals bit `k`
+/// of `i`).
+///
+/// # Example
+///
+/// ```
+/// use mcs_logic::{Trit, TruthTable};
+///
+/// let maj = TruthTable::from_fn(3, |bits| {
+///     bits.iter().filter(|&&b| b).count() >= 2
+/// });
+/// assert!(maj.eval(&[true, true, false]));
+/// // The closure masks metastability when the stable inputs decide.
+/// assert_eq!(maj.eval_closure(&[Trit::One, Trit::One, Trit::Meta]), Trit::One);
+/// assert_eq!(maj.eval_closure(&[Trit::One, Trit::Zero, Trit::Meta]), Trit::Meta);
+/// ```
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub struct TruthTable {
+    arity: u8,
+    bits: u64,
+}
+
+/// A product term over `n` variables: for each variable a care-bit and a
+/// polarity. Encodes cubes like `x0·x̄2`.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub struct Implicant {
+    /// Variables appearing in the product.
+    pub mask: u8,
+    /// Polarities for the variables in `mask` (1 = positive literal).
+    pub value: u8,
+}
+
+impl Implicant {
+    /// `true` if the stable input vector is covered by this cube.
+    pub fn covers(&self, input: u8) -> bool {
+        (input ^ self.value) & self.mask == 0
+    }
+
+    /// `true` if `self` covers every input that `other` covers.
+    pub fn subsumes(&self, other: &Implicant) -> bool {
+        // self's cube ⊇ other's cube: self uses a subset of other's cared
+        // variables, with matching polarities.
+        self.mask & other.mask == self.mask
+            && (self.value ^ other.value) & self.mask == 0
+    }
+
+    /// Number of literals.
+    pub fn literal_count(&self) -> u32 {
+        self.mask.count_ones()
+    }
+}
+
+impl fmt::Display for Implicant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.mask == 0 {
+            return f.write_str("1");
+        }
+        for k in 0..8 {
+            if (self.mask >> k) & 1 == 1 {
+                if (self.value >> k) & 1 == 1 {
+                    write!(f, "x{k}")?;
+                } else {
+                    write!(f, "x̄{k}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl TruthTable {
+    /// Builds a table from a closure over stable inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity` exceeds 6.
+    pub fn from_fn(arity: usize, f: impl Fn(&[bool]) -> bool) -> TruthTable {
+        assert!(arity <= 6, "truth tables support up to 6 inputs");
+        let mut bits = 0u64;
+        for i in 0..(1u32 << arity) {
+            let input: Vec<bool> = (0..arity).map(|k| (i >> k) & 1 == 1).collect();
+            if f(&input) {
+                bits |= 1u64 << i;
+            }
+        }
+        TruthTable {
+            arity: arity as u8,
+            bits,
+        }
+    }
+
+    /// Builds a table from raw bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity` exceeds 6 or `bits` has entries beyond `2^arity`.
+    pub fn from_bits(arity: usize, bits: u64) -> TruthTable {
+        assert!(arity <= 6, "truth tables support up to 6 inputs");
+        if arity < 6 {
+            assert!(
+                bits < (1u64 << (1u32 << arity)),
+                "table bits exceed 2^arity entries"
+            );
+        }
+        TruthTable {
+            arity: arity as u8,
+            bits,
+        }
+    }
+
+    /// Number of inputs.
+    pub fn arity(&self) -> usize {
+        self.arity as usize
+    }
+
+    /// Raw table bits.
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// Evaluates on stable inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` differs from the arity.
+    pub fn eval(&self, input: &[bool]) -> bool {
+        assert_eq!(input.len(), self.arity(), "input arity mismatch");
+        let idx: u32 = input
+            .iter()
+            .enumerate()
+            .map(|(k, &b)| u32::from(b) << k)
+            .sum();
+        (self.bits >> idx) & 1 == 1
+    }
+
+    /// Evaluates the metastable closure `f_M` on ternary inputs: resolves
+    /// every `M`, evaluates, superposes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` differs from the arity.
+    pub fn eval_closure(&self, input: &[Trit]) -> Trit {
+        assert_eq!(input.len(), self.arity(), "input arity mismatch");
+        let mut seen0 = false;
+        let mut seen1 = false;
+        let meta_positions: Vec<usize> = (0..self.arity())
+            .filter(|&k| input[k].is_meta())
+            .collect();
+        let base: u32 = (0..self.arity())
+            .map(|k| match input[k] {
+                Trit::One => 1u32 << k,
+                _ => 0,
+            })
+            .sum();
+        for m in 0..(1u32 << meta_positions.len()) {
+            let mut idx = base;
+            for (j, &pos) in meta_positions.iter().enumerate() {
+                if (m >> j) & 1 == 1 {
+                    idx |= 1 << pos;
+                }
+            }
+            if (self.bits >> idx) & 1 == 1 {
+                seen1 = true;
+            } else {
+                seen0 = true;
+            }
+            if seen0 && seen1 {
+                return Trit::Meta;
+            }
+        }
+        if seen1 {
+            Trit::One
+        } else {
+            Trit::Zero
+        }
+    }
+
+    /// All **prime implicants** of the function (Quine–McCluskey).
+    ///
+    /// A cube is an implicant if the function is 1 everywhere on it, and
+    /// prime if no literal can be dropped. The all-prime-implicants
+    /// sum-of-products is the canonical *hazard-free* two-level cover; its
+    /// gate-level realisation is closure-exact (see `mcs-netlist::synth`).
+    pub fn prime_implicants(&self) -> Vec<Implicant> {
+        let n = self.arity();
+        // Enumerate all cubes (3^n of them) smallest-mask first and keep
+        // the implicants not subsumed by an implicant with fewer literals.
+        let mut primes: Vec<Implicant> = Vec::new();
+        // Iterate masks by increasing popcount so subsumption checks only
+        // need to look at already-kept cubes.
+        let mut masks: Vec<u8> = (0..(1u16 << n)).map(|m| m as u8).collect();
+        masks.sort_by_key(|m| m.count_ones());
+        for mask in masks {
+            // For each assignment of the cared variables …
+            let free = !mask & (((1u16 << n) - 1) as u8);
+            let mut value_bits = mask;
+            loop {
+                let cube = Implicant {
+                    mask,
+                    value: value_bits & mask,
+                };
+                // Implicant: f is 1 on every completion of the cube.
+                let mut all_ones = true;
+                let mut sub = free;
+                loop {
+                    let idx = (cube.value | sub) as u32;
+                    if (self.bits >> idx) & 1 == 0 {
+                        all_ones = false;
+                        break;
+                    }
+                    if sub == 0 {
+                        break;
+                    }
+                    sub = (sub - 1) & free;
+                }
+                if all_ones && !primes.iter().any(|p| p.subsumes(&cube)) {
+                    primes.push(cube);
+                }
+                // Next value assignment within the mask.
+                if value_bits & mask == 0 {
+                    break;
+                }
+                value_bits = (value_bits - 1) & mask;
+            }
+        }
+        primes
+    }
+
+    /// `true` if the function is constant.
+    pub fn is_constant(&self) -> Option<bool> {
+        let total = 1u32 << self.arity();
+        let full = if total == 64 {
+            !0u64
+        } else {
+            (1u64 << total) - 1
+        };
+        if self.bits == 0 {
+            Some(false)
+        } else if self.bits == full {
+            Some(true)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "table/{}:{:b}", self.arity, self.bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closure::closure_fn;
+
+    #[test]
+    fn eval_matches_source_function() {
+        let f = |b: &[bool]| (b[0] && b[1]) || !b[2];
+        let t = TruthTable::from_fn(3, f);
+        for i in 0..8u32 {
+            let input: Vec<bool> = (0..3).map(|k| (i >> k) & 1 == 1).collect();
+            assert_eq!(t.eval(&input), f(&input), "{input:?}");
+        }
+    }
+
+    #[test]
+    fn closure_matches_generic_closure() {
+        let f = |b: &[bool]| (b[0] ^ b[1]) || (b[1] && b[2]);
+        let t = TruthTable::from_fn(3, f);
+        for a in Trit::ALL {
+            for b in Trit::ALL {
+                for c in Trit::ALL {
+                    assert_eq!(
+                        t.eval_closure(&[a, b, c]),
+                        closure_fn(&[a, b, c], f),
+                        "({a},{b},{c})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prime_implicants_of_and_or() {
+        let and = TruthTable::from_fn(2, |b| b[0] && b[1]);
+        let pis = and.prime_implicants();
+        assert_eq!(pis.len(), 1);
+        assert_eq!(pis[0], Implicant { mask: 0b11, value: 0b11 });
+
+        let or = TruthTable::from_fn(2, |b| b[0] || b[1]);
+        let pis = or.prime_implicants();
+        assert_eq!(pis.len(), 2);
+        assert!(pis.contains(&Implicant { mask: 0b01, value: 0b01 }));
+        assert!(pis.contains(&Implicant { mask: 0b10, value: 0b10 }));
+    }
+
+    #[test]
+    fn prime_implicants_of_mux_include_consensus() {
+        // mux(s, a, b) = s̄·a + s·b has the consensus term a·b as a third
+        // prime implicant — exactly the term that makes the cmux
+        // metastability-containing. Variables: x0 = s, x1 = a, x2 = b.
+        let mux = TruthTable::from_fn(3, |v| if v[0] { v[2] } else { v[1] });
+        let pis = mux.prime_implicants();
+        assert_eq!(pis.len(), 3);
+        assert!(pis.contains(&Implicant { mask: 0b011, value: 0b010 })); // s̄·a
+        assert!(pis.contains(&Implicant { mask: 0b101, value: 0b101 })); // s·b
+        assert!(pis.contains(&Implicant { mask: 0b110, value: 0b110 })); // a·b
+    }
+
+    #[test]
+    fn prime_implicants_cover_exactly_the_on_set() {
+        // Spot-check on a set of nontrivial functions: the union of the
+        // cubes equals the on-set, and every cube is prime (dropping any
+        // literal leaves the on-set).
+        let fns: Vec<TruthTable> = vec![
+            TruthTable::from_fn(4, |b| (b[0] && b[1]) ^ (b[2] || b[3])),
+            TruthTable::from_fn(4, |b| b.iter().filter(|&&x| x).count() % 2 == 1),
+            TruthTable::from_fn(3, |b| b[0] != b[1] || b[2]),
+        ];
+        for t in fns {
+            let pis = t.prime_implicants();
+            for input in 0..(1u32 << t.arity()) as u8 {
+                let on = (t.bits() >> input) & 1 == 1;
+                let covered = pis.iter().any(|p| p.covers(input));
+                assert_eq!(on, covered, "{t} at {input:04b}");
+            }
+            for p in &pis {
+                // Prime: removing any cared literal must cover a 0-input.
+                for k in 0..t.arity() as u8 {
+                    if (p.mask >> k) & 1 == 1 {
+                        let weaker = Implicant {
+                            mask: p.mask & !(1 << k),
+                            value: p.value & !(1 << k),
+                        };
+                        let still_implicant = (0..(1u32 << t.arity()) as u8)
+                            .filter(|&i| weaker.covers(i))
+                            .all(|i| (t.bits() >> i) & 1 == 1);
+                        assert!(!still_implicant, "{p} not prime in {t}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(TruthTable::from_fn(3, |_| true).is_constant(), Some(true));
+        assert_eq!(TruthTable::from_fn(3, |_| false).is_constant(), Some(false));
+        assert_eq!(TruthTable::from_fn(2, |b| b[0]).is_constant(), None);
+        // The constant-1 function has one prime implicant: the empty cube.
+        let pis = TruthTable::from_fn(2, |_| true).prime_implicants();
+        assert_eq!(pis.len(), 1);
+        assert_eq!(pis[0].mask, 0);
+        assert_eq!(pis[0].to_string(), "1");
+        // Constant-0 has none.
+        assert!(TruthTable::from_fn(2, |_| false)
+            .prime_implicants()
+            .is_empty());
+    }
+
+    #[test]
+    fn display_formats() {
+        let p = Implicant { mask: 0b101, value: 0b001 };
+        assert_eq!(p.to_string(), "x0x̄2");
+        assert_eq!(p.literal_count(), 2);
+        let t = TruthTable::from_bits(1, 0b10);
+        assert_eq!(t.to_string(), "table/1:10");
+        assert!(t.eval(&[true]));
+    }
+
+    #[test]
+    fn six_input_table_works() {
+        let t = TruthTable::from_fn(6, |b| b.iter().filter(|&&x| x).count() >= 4);
+        assert!(t.eval(&[true; 6]));
+        assert!(!t.eval(&[false; 6]));
+        // Closure with two Ms and four 1s: already decided.
+        let mut input = vec![Trit::One; 6];
+        input[4] = Trit::Meta;
+        input[5] = Trit::Meta;
+        assert_eq!(t.eval_closure(&input), Trit::One);
+    }
+}

@@ -1,0 +1,339 @@
+//! The single ternary value [`Trit`] and its gate semantics (paper Table 3).
+
+use std::error::Error;
+use std::fmt;
+use std::ops::{BitAnd, BitOr, Not};
+
+/// A ternary digital value: logical `0`, logical `1`, or metastable `M`.
+///
+/// `M` models a signal that is out of spec for boolean logic — an arbitrary,
+/// possibly time-dependent voltage between the rails. The [`BitAnd`],
+/// [`BitOr`] and [`Not`] implementations follow the paper's Table 3, which is
+/// exactly Kleene's strong three-valued logic: a *controlling* stable input
+/// (0 for AND, 1 for OR) masks metastability at the other input; otherwise
+/// `M` propagates.
+///
+/// This is also the metastable closure of the corresponding boolean gate
+/// function, which the paper argues is implemented by standard CMOS
+/// AND/OR/INV cells.
+///
+/// # Example
+///
+/// ```
+/// use mcs_logic::Trit;
+///
+/// assert_eq!(Trit::Zero & Trit::Meta, Trit::Zero); // 0 controls AND
+/// assert_eq!(Trit::One | Trit::Meta, Trit::One);   // 1 controls OR
+/// assert_eq!(!Trit::Meta, Trit::Meta);             // inverters propagate M
+/// ```
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, Default)]
+pub enum Trit {
+    /// Logical 0.
+    #[default]
+    Zero,
+    /// Logical 1.
+    One,
+    /// Metastable: neither a clean 0 nor a clean 1.
+    Meta,
+}
+
+impl Trit {
+    /// All three values, in the order `0`, `1`, `M`. Handy for exhaustive
+    /// enumeration in tests and closure computations.
+    pub const ALL: [Trit; 3] = [Trit::Zero, Trit::One, Trit::Meta];
+
+    /// Returns `true` if the value is a clean `0` or `1`.
+    #[inline]
+    pub const fn is_stable(self) -> bool {
+        !matches!(self, Trit::Meta)
+    }
+
+    /// Returns `true` if the value is metastable.
+    #[inline]
+    pub const fn is_meta(self) -> bool {
+        matches!(self, Trit::Meta)
+    }
+
+    /// Converts a stable trit to `bool`, or `None` for `M`.
+    #[inline]
+    pub const fn to_bool(self) -> Option<bool> {
+        match self {
+            Trit::Zero => Some(false),
+            Trit::One => Some(true),
+            Trit::Meta => None,
+        }
+    }
+
+    /// Returns `true` if `self` could resolve to the boolean `b`, i.e. if
+    /// `b ∈ res(self)` in the notation of Definition 2.5.
+    #[inline]
+    pub const fn can_be(self, b: bool) -> bool {
+        matches!(
+            (self, b),
+            (Trit::Zero, false) | (Trit::One, true) | (Trit::Meta, _)
+        )
+    }
+
+    /// The superposition `self ∗ other` (Definition 2.1): identical values
+    /// stay, differing values become `M`.
+    ///
+    /// `∗` is associative and commutative (Observation 2.2).
+    #[inline]
+    pub const fn superpose(self, other: Trit) -> Trit {
+        match (self, other) {
+            (Trit::Zero, Trit::Zero) => Trit::Zero,
+            (Trit::One, Trit::One) => Trit::One,
+            _ => Trit::Meta,
+        }
+    }
+
+    /// The character representation used throughout the paper: `0`, `1`, `M`.
+    #[inline]
+    pub const fn to_char(self) -> char {
+        match self {
+            Trit::Zero => '0',
+            Trit::One => '1',
+            Trit::Meta => 'M',
+        }
+    }
+
+    /// Parses a `0`/`1`/`M` character (also accepts lowercase `m`, `x`/`X`
+    /// as common HDL spellings of an unknown value).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseTritError`] for any other character.
+    pub const fn from_char(c: char) -> Result<Trit, ParseTritError> {
+        match c {
+            '0' => Ok(Trit::Zero),
+            '1' => Ok(Trit::One),
+            'M' | 'm' | 'x' | 'X' => Ok(Trit::Meta),
+            _ => Err(ParseTritError { bad: c }),
+        }
+    }
+}
+
+impl From<bool> for Trit {
+    #[inline]
+    fn from(b: bool) -> Trit {
+        if b {
+            Trit::One
+        } else {
+            Trit::Zero
+        }
+    }
+}
+
+impl BitAnd for Trit {
+    type Output = Trit;
+
+    /// Table 3 (left): AND with metastable inputs. A stable `0` controls.
+    #[inline]
+    fn bitand(self, rhs: Trit) -> Trit {
+        match (self, rhs) {
+            (Trit::Zero, _) | (_, Trit::Zero) => Trit::Zero,
+            (Trit::One, Trit::One) => Trit::One,
+            _ => Trit::Meta,
+        }
+    }
+}
+
+impl BitOr for Trit {
+    type Output = Trit;
+
+    /// Table 3 (center): OR with metastable inputs. A stable `1` controls.
+    #[inline]
+    fn bitor(self, rhs: Trit) -> Trit {
+        match (self, rhs) {
+            (Trit::One, _) | (_, Trit::One) => Trit::One,
+            (Trit::Zero, Trit::Zero) => Trit::Zero,
+            _ => Trit::Meta,
+        }
+    }
+}
+
+impl Not for Trit {
+    type Output = Trit;
+
+    /// Table 3 (right): an inverter maps `M` to `M`.
+    #[inline]
+    fn not(self) -> Trit {
+        match self {
+            Trit::Zero => Trit::One,
+            Trit::One => Trit::Zero,
+            Trit::Meta => Trit::Meta,
+        }
+    }
+}
+
+impl fmt::Display for Trit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Trit::Zero => "0",
+            Trit::One => "1",
+            Trit::Meta => "M",
+        })
+    }
+}
+
+/// Error returned when parsing a character that is not `0`, `1` or `M`.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub struct ParseTritError {
+    bad: char,
+}
+
+impl ParseTritError {
+    /// The offending character.
+    pub fn offending_char(&self) -> char {
+        self.bad
+    }
+}
+
+impl fmt::Display for ParseTritError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid trit character {:?}, expected 0, 1 or M", self.bad)
+    }
+}
+
+impl Error for ParseTritError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn closure2(f: impl Fn(bool, bool) -> bool, a: Trit, b: Trit) -> Trit {
+        // Direct, independent implementation of Definition 2.7 for arity 2.
+        let mut out: Option<Trit> = None;
+        for ra in [false, true] {
+            if !a.can_be(ra) {
+                continue;
+            }
+            for rb in [false, true] {
+                if !b.can_be(rb) {
+                    continue;
+                }
+                let v = Trit::from(f(ra, rb));
+                out = Some(match out {
+                    None => v,
+                    Some(prev) => prev.superpose(v),
+                });
+            }
+        }
+        out.expect("every trit has at least one resolution")
+    }
+
+    #[test]
+    fn and_matches_table3() {
+        use Trit::*;
+        // Rows of Table 3 (left), a = row, b = column.
+        let expected = [
+            [Zero, Zero, Zero], // a = 0
+            [Zero, One, Meta],  // a = 1
+            [Zero, Meta, Meta], // a = M
+        ];
+        for (i, a) in Trit::ALL.iter().enumerate() {
+            for (j, b) in Trit::ALL.iter().enumerate() {
+                assert_eq!(*a & *b, expected[i][j], "{a} AND {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn or_matches_table3() {
+        use Trit::*;
+        let expected = [
+            [Zero, One, Meta], // a = 0
+            [One, One, One],   // a = 1
+            [Meta, One, Meta], // a = M
+        ];
+        for (i, a) in Trit::ALL.iter().enumerate() {
+            for (j, b) in Trit::ALL.iter().enumerate() {
+                assert_eq!(*a | *b, expected[i][j], "{a} OR {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn not_matches_table3() {
+        assert_eq!(!Trit::Zero, Trit::One);
+        assert_eq!(!Trit::One, Trit::Zero);
+        assert_eq!(!Trit::Meta, Trit::Meta);
+    }
+
+    #[test]
+    fn gates_are_the_closure_of_their_boolean_function() {
+        // The model assumption of Section 2: each basic gate computes the
+        // metastable closure of its boolean function.
+        for a in Trit::ALL {
+            for b in Trit::ALL {
+                assert_eq!(a & b, closure2(|x, y| x && y, a, b));
+                assert_eq!(a | b, closure2(|x, y| x || y, a, b));
+            }
+        }
+        for a in Trit::ALL {
+            let negated = closure2(|x, _| !x, a, Trit::Zero);
+            assert_eq!(!a, negated);
+        }
+    }
+
+    #[test]
+    fn superpose_is_commutative_and_associative() {
+        for a in Trit::ALL {
+            for b in Trit::ALL {
+                assert_eq!(a.superpose(b), b.superpose(a));
+                for c in Trit::ALL {
+                    assert_eq!(
+                        a.superpose(b).superpose(c),
+                        a.superpose(b.superpose(c))
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn superpose_identity_and_absorption() {
+        for a in Trit::ALL {
+            assert_eq!(a.superpose(a), a);
+            assert_eq!(a.superpose(Trit::Meta), Trit::Meta);
+        }
+    }
+
+    #[test]
+    fn kleene_de_morgan() {
+        for a in Trit::ALL {
+            for b in Trit::ALL {
+                assert_eq!(!(a & b), !a | !b);
+                assert_eq!(!(a | b), !a & !b);
+            }
+        }
+    }
+
+    #[test]
+    fn char_roundtrip() {
+        for t in Trit::ALL {
+            assert_eq!(Trit::from_char(t.to_char()), Ok(t));
+        }
+        assert_eq!(Trit::from_char('x'), Ok(Trit::Meta));
+        assert!(Trit::from_char('2').is_err());
+        let err = Trit::from_char('?').unwrap_err();
+        assert_eq!(err.offending_char(), '?');
+        assert!(err.to_string().contains("invalid trit"));
+    }
+
+    #[test]
+    fn bool_conversions() {
+        assert_eq!(Trit::from(true), Trit::One);
+        assert_eq!(Trit::from(false), Trit::Zero);
+        assert_eq!(Trit::One.to_bool(), Some(true));
+        assert_eq!(Trit::Zero.to_bool(), Some(false));
+        assert_eq!(Trit::Meta.to_bool(), None);
+    }
+
+    #[test]
+    fn can_be_matches_resolution_semantics() {
+        assert!(Trit::Meta.can_be(false) && Trit::Meta.can_be(true));
+        assert!(Trit::Zero.can_be(false) && !Trit::Zero.can_be(true));
+        assert!(Trit::One.can_be(true) && !Trit::One.can_be(false));
+    }
+}

@@ -1,0 +1,376 @@
+//! [`TritVec`]: an owned ternary bit string such as `01M0`.
+
+use std::fmt;
+use std::iter::FromIterator;
+use std::ops::{Index, IndexMut};
+use std::str::FromStr;
+
+use crate::resolution::Resolutions;
+use crate::trit::{ParseTritError, Trit};
+
+/// An owned string of [`Trit`]s, indexed from 0.
+///
+/// The paper writes B-bit strings as `g = g_1 g_2 … g_B` with `g_1` the
+/// *first* (most significant) bit; this crate uses 0-based indexing, so
+/// `v[0]` corresponds to the paper's `g_1`.
+///
+/// # Example
+///
+/// ```
+/// use mcs_logic::{Trit, TritVec};
+///
+/// let v: TritVec = "0M10".parse().unwrap();
+/// assert_eq!(v.len(), 4);
+/// assert_eq!(v[1], Trit::Meta);
+/// assert_eq!(v.meta_count(), 1);
+/// assert_eq!(v.to_string(), "0M10");
+/// ```
+#[derive(Clone, Eq, PartialEq, Hash, Debug, Default)]
+pub struct TritVec {
+    bits: Vec<Trit>,
+}
+
+impl TritVec {
+    /// Creates an empty vector.
+    pub fn new() -> TritVec {
+        TritVec { bits: Vec::new() }
+    }
+
+    /// Creates a vector of `len` copies of `fill`.
+    ///
+    /// ```
+    /// use mcs_logic::{Trit, TritVec};
+    /// let v = TritVec::filled(3, Trit::Meta);
+    /// assert_eq!(v.to_string(), "MMM");
+    /// ```
+    pub fn filled(len: usize, fill: Trit) -> TritVec {
+        TritVec {
+            bits: vec![fill; len],
+        }
+    }
+
+    /// Builds a vector from boolean bits (MSB first, matching the paper's
+    /// `g_1 … g_B` convention).
+    pub fn from_bools(bits: &[bool]) -> TritVec {
+        bits.iter().map(|&b| Trit::from(b)).collect()
+    }
+
+    /// Builds a `width`-bit vector from the low bits of `value`, MSB first.
+    ///
+    /// ```
+    /// use mcs_logic::TritVec;
+    /// assert_eq!(TritVec::from_uint(0b0110, 4).to_string(), "0110");
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64` or if `value` does not fit in `width` bits.
+    pub fn from_uint(value: u64, width: usize) -> TritVec {
+        assert!(width <= 64, "width {width} exceeds 64 bits");
+        assert!(
+            width == 64 || value < (1u64 << width),
+            "value {value} does not fit in {width} bits"
+        );
+        (0..width)
+            .map(|i| Trit::from((value >> (width - 1 - i)) & 1 == 1))
+            .collect()
+    }
+
+    /// Number of trits.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Returns `true` if the vector holds no trits.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Read-only view of the underlying trits.
+    pub fn as_slice(&self) -> &[Trit] {
+        &self.bits
+    }
+
+    /// Mutable view of the underlying trits.
+    pub fn as_mut_slice(&mut self) -> &mut [Trit] {
+        &mut self.bits
+    }
+
+    /// Consumes the vector and returns the underlying storage.
+    pub fn into_inner(self) -> Vec<Trit> {
+        self.bits
+    }
+
+    /// Appends a trit.
+    pub fn push(&mut self, t: Trit) {
+        self.bits.push(t);
+    }
+
+    /// Iterates over the trits by value.
+    pub fn iter(&self) -> std::iter::Copied<std::slice::Iter<'_, Trit>> {
+        self.bits.iter().copied()
+    }
+
+    /// Number of metastable positions.
+    pub fn meta_count(&self) -> usize {
+        self.bits.iter().filter(|t| t.is_meta()).count()
+    }
+
+    /// Index of the first metastable position, if any.
+    pub fn meta_position(&self) -> Option<usize> {
+        self.bits.iter().position(|t| t.is_meta())
+    }
+
+    /// Returns `true` if no position is metastable.
+    pub fn is_stable(&self) -> bool {
+        self.meta_count() == 0
+    }
+
+    /// Interprets a fully stable vector as an unsigned integer (MSB first).
+    /// Returns `None` if any trit is metastable or the width exceeds 64.
+    pub fn to_uint(&self) -> Option<u64> {
+        if self.len() > 64 {
+            return None;
+        }
+        let mut v = 0u64;
+        for t in self.iter() {
+            v = (v << 1) | u64::from(t.to_bool()?);
+        }
+        Some(v)
+    }
+
+    /// Converts to booleans if fully stable.
+    pub fn to_bools(&self) -> Option<Vec<bool>> {
+        self.iter().map(Trit::to_bool).collect()
+    }
+
+    /// The sub-string `self[i..j]` (half-open), as used for the paper's
+    /// `g_{i,j}` (which is closed and 1-based; `g_{i,j}` = `slice(i-1, j)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > j` or `j > self.len()`.
+    pub fn slice(&self, i: usize, j: usize) -> TritVec {
+        TritVec {
+            bits: self.bits[i..j].to_vec(),
+        }
+    }
+
+    /// Element-wise superposition `self ∗ other` (Definition 2.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn superpose(&self, other: &TritVec) -> TritVec {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "superposition requires equal lengths"
+        );
+        self.iter()
+            .zip(other.iter())
+            .map(|(a, b)| a.superpose(b))
+            .collect()
+    }
+
+    /// Iterator over all resolutions `res(self)` (Definition 2.5): every
+    /// stable string obtained by replacing each `M` with 0 or 1.
+    ///
+    /// The iterator yields `2^m` strings where `m = self.meta_count()`.
+    ///
+    /// ```
+    /// use mcs_logic::TritVec;
+    /// let v: TritVec = "0M1".parse().unwrap();
+    /// let rs: Vec<String> = v.resolutions().map(|r| r.to_string()).collect();
+    /// assert_eq!(rs, ["001", "011"]);
+    /// ```
+    pub fn resolutions(&self) -> Resolutions {
+        Resolutions::new(self.as_slice())
+    }
+}
+
+impl Index<usize> for TritVec {
+    type Output = Trit;
+
+    fn index(&self, i: usize) -> &Trit {
+        &self.bits[i]
+    }
+}
+
+impl IndexMut<usize> for TritVec {
+    fn index_mut(&mut self, i: usize) -> &mut Trit {
+        &mut self.bits[i]
+    }
+}
+
+impl FromIterator<Trit> for TritVec {
+    fn from_iter<I: IntoIterator<Item = Trit>>(iter: I) -> TritVec {
+        TritVec {
+            bits: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Trit> for TritVec {
+    fn extend<I: IntoIterator<Item = Trit>>(&mut self, iter: I) {
+        self.bits.extend(iter);
+    }
+}
+
+impl From<Vec<Trit>> for TritVec {
+    fn from(bits: Vec<Trit>) -> TritVec {
+        TritVec { bits }
+    }
+}
+
+impl From<&[Trit]> for TritVec {
+    fn from(bits: &[Trit]) -> TritVec {
+        TritVec {
+            bits: bits.to_vec(),
+        }
+    }
+}
+
+impl AsRef<[Trit]> for TritVec {
+    fn as_ref(&self) -> &[Trit] {
+        &self.bits
+    }
+}
+
+impl<'a> IntoIterator for &'a TritVec {
+    type Item = Trit;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, Trit>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl IntoIterator for TritVec {
+    type Item = Trit;
+    type IntoIter = std::vec::IntoIter<Trit>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.bits.into_iter()
+    }
+}
+
+impl fmt::Display for TritVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for t in self.iter() {
+            write!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for TritVec {
+    type Err = ParseTritError;
+
+    fn from_str(s: &str) -> Result<TritVec, ParseTritError> {
+        s.chars().map(Trit::from_char).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_display_roundtrip() {
+        for s in ["", "0", "1", "M", "01M0", "MMMM", "10101"] {
+            let v: TritVec = s.parse().unwrap();
+            assert_eq!(v.to_string(), s);
+        }
+        assert!("012".parse::<TritVec>().is_err());
+    }
+
+    #[test]
+    fn uint_roundtrip_msb_first() {
+        for width in 0..10usize {
+            for value in 0..(1u64 << width) {
+                let v = TritVec::from_uint(value, width);
+                assert_eq!(v.len(), width);
+                assert_eq!(v.to_uint(), Some(value));
+            }
+        }
+    }
+
+    #[test]
+    fn uint_msb_is_index_zero() {
+        let v = TritVec::from_uint(0b100, 3);
+        assert_eq!(v[0], Trit::One);
+        assert_eq!(v[2], Trit::Zero);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn from_uint_rejects_oversized_value() {
+        let _ = TritVec::from_uint(8, 3);
+    }
+
+    #[test]
+    fn to_uint_rejects_metastable() {
+        let v: TritVec = "0M1".parse().unwrap();
+        assert_eq!(v.to_uint(), None);
+        assert_eq!(v.to_bools(), None);
+    }
+
+    #[test]
+    fn meta_accounting() {
+        let v: TritVec = "0M1M".parse().unwrap();
+        assert_eq!(v.meta_count(), 2);
+        assert_eq!(v.meta_position(), Some(1));
+        assert!(!v.is_stable());
+        let s: TritVec = "0011".parse().unwrap();
+        assert!(s.is_stable());
+        assert_eq!(s.meta_position(), None);
+    }
+
+    #[test]
+    fn superpose_elementwise() {
+        let a: TritVec = "0010".parse().unwrap();
+        let b: TritVec = "0110".parse().unwrap();
+        assert_eq!(a.superpose(&b).to_string(), "0M10");
+        // Observation 2.6 (first half): ∗ res(x) = x.
+        let x: TritVec = "0M1M".parse().unwrap();
+        let back = x
+            .resolutions()
+            .reduce(|acc, r| acc.superpose(&r))
+            .unwrap();
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn superpose_length_mismatch_panics() {
+        let a: TritVec = "00".parse().unwrap();
+        let b: TritVec = "000".parse().unwrap();
+        let _ = a.superpose(&b);
+    }
+
+    #[test]
+    fn slice_matches_paper_subscript() {
+        // g_{2,3} of g = 0M10 is M1.
+        let g: TritVec = "0M10".parse().unwrap();
+        assert_eq!(g.slice(1, 3).to_string(), "M1");
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut v: TritVec = [Trit::Zero, Trit::One].into_iter().collect();
+        v.extend([Trit::Meta]);
+        v.push(Trit::One);
+        assert_eq!(v.to_string(), "01M1");
+        let w: TritVec = v.as_slice().into();
+        assert_eq!(w, v);
+        assert_eq!(v.clone().into_inner().len(), 4);
+    }
+
+    #[test]
+    fn filled_and_empty() {
+        assert!(TritVec::new().is_empty());
+        let v = TritVec::filled(2, Trit::One);
+        assert_eq!(v.to_string(), "11");
+    }
+}

@@ -1,0 +1,328 @@
+//! [`TritWord`]: 64 independent ternary lanes packed into two bit-planes,
+//! for fast batched gate-level simulation.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, Not};
+
+use crate::trit::Trit;
+
+/// 64 ternary values packed into two `u64` "possibility" planes.
+///
+/// Lane `i` encodes the set of boolean values the signal could still take:
+///
+/// | value | `can_zero` bit | `can_one` bit |
+/// |-------|----------------|---------------|
+/// | `0`   | 1              | 0             |
+/// | `1`   | 0              | 1             |
+/// | `M`   | 1              | 1             |
+///
+/// With this encoding the Kleene gate operations of Table 3 become plain
+/// word-parallel boolean operations, so one `TritWord` operation simulates a
+/// gate for 64 test vectors at once:
+///
+/// * `AND`: output can be 0 if *either* input can be 0; can be 1 only if
+///   *both* can be 1.
+/// * `OR`: dual.
+/// * `NOT`: swap planes.
+///
+/// Unused lanes should be kept at `0` (`can_zero` set); the (0,0) encoding is
+/// never produced by the public API.
+///
+/// # Example
+///
+/// ```
+/// use mcs_logic::{Trit, TritWord};
+///
+/// let a = TritWord::from_lanes(&[Trit::Zero, Trit::One, Trit::Meta]);
+/// let b = TritWord::splat(Trit::Meta, 3);
+/// let c = a & b;
+/// assert_eq!(c.lane(0), Trit::Zero); // 0 AND M = 0
+/// assert_eq!(c.lane(1), Trit::Meta); // 1 AND M = M
+/// assert_eq!(c.lane(2), Trit::Meta); // M AND M = M
+/// ```
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub struct TritWord {
+    can_zero: u64,
+    can_one: u64,
+}
+
+/// Number of lanes in a [`TritWord`].
+pub const LANES: usize = 64;
+
+impl TritWord {
+    /// All 64 lanes set to stable `0`.
+    pub const ZERO: TritWord = TritWord {
+        can_zero: !0,
+        can_one: 0,
+    };
+
+    /// All 64 lanes set to stable `1`.
+    pub const ONE: TritWord = TritWord {
+        can_zero: 0,
+        can_one: !0,
+    };
+
+    /// All 64 lanes metastable.
+    pub const META: TritWord = TritWord {
+        can_zero: !0,
+        can_one: !0,
+    };
+
+    /// Creates a word with every lane equal to `t`. Lanes at index
+    /// `≥ used_lanes` are forced to stable `0` so they stay well-encoded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `used_lanes > 64`.
+    pub fn splat(t: Trit, used_lanes: usize) -> TritWord {
+        assert!(used_lanes <= LANES);
+        let mask = lane_mask(used_lanes);
+        let base = match t {
+            Trit::Zero => TritWord::ZERO,
+            Trit::One => TritWord::ONE,
+            Trit::Meta => TritWord::META,
+        };
+        TritWord {
+            can_zero: (base.can_zero & mask) | !mask,
+            can_one: base.can_one & mask,
+        }
+    }
+
+    /// Builds a word from up to 64 lane values; remaining lanes are `0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 64 lanes are given.
+    pub fn from_lanes(lanes: &[Trit]) -> TritWord {
+        assert!(lanes.len() <= LANES, "at most 64 lanes");
+        let mut w = TritWord::ZERO;
+        for (i, &t) in lanes.iter().enumerate() {
+            w.set_lane(i, t);
+        }
+        w
+    }
+
+    /// Builds a word from the raw possibility planes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any lane would be encoded as (0,0) — the impossible value.
+    pub fn from_planes(can_zero: u64, can_one: u64) -> TritWord {
+        assert_eq!(
+            can_zero | can_one,
+            !0,
+            "every lane must be able to take at least one value"
+        );
+        TritWord { can_zero, can_one }
+    }
+
+    /// The `can_zero` plane.
+    pub fn can_zero_plane(self) -> u64 {
+        self.can_zero
+    }
+
+    /// The `can_one` plane.
+    pub fn can_one_plane(self) -> u64 {
+        self.can_one
+    }
+
+    /// Reads lane `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i ≥ 64`.
+    pub fn lane(self, i: usize) -> Trit {
+        assert!(i < LANES);
+        let z = (self.can_zero >> i) & 1 == 1;
+        let o = (self.can_one >> i) & 1 == 1;
+        match (z, o) {
+            (true, false) => Trit::Zero,
+            (false, true) => Trit::One,
+            (true, true) => Trit::Meta,
+            (false, false) => unreachable!("invalid TritWord lane encoding"),
+        }
+    }
+
+    /// Writes lane `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i ≥ 64`.
+    pub fn set_lane(&mut self, i: usize, t: Trit) {
+        assert!(i < LANES);
+        let bit = 1u64 << i;
+        match t {
+            Trit::Zero => {
+                self.can_zero |= bit;
+                self.can_one &= !bit;
+            }
+            Trit::One => {
+                self.can_zero &= !bit;
+                self.can_one |= bit;
+            }
+            Trit::Meta => {
+                self.can_zero |= bit;
+                self.can_one |= bit;
+            }
+        }
+    }
+
+    /// Extracts the first `n` lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    pub fn to_lanes(self, n: usize) -> Vec<Trit> {
+        (0..n).map(|i| self.lane(i)).collect()
+    }
+
+    /// Mask of lanes (within the first `used_lanes`) that are metastable.
+    pub fn meta_mask(self, used_lanes: usize) -> u64 {
+        self.can_zero & self.can_one & lane_mask(used_lanes)
+    }
+}
+
+impl Default for TritWord {
+    fn default() -> TritWord {
+        TritWord::ZERO
+    }
+}
+
+impl BitAnd for TritWord {
+    type Output = TritWord;
+
+    #[inline]
+    fn bitand(self, rhs: TritWord) -> TritWord {
+        TritWord {
+            can_zero: self.can_zero | rhs.can_zero,
+            can_one: self.can_one & rhs.can_one,
+        }
+    }
+}
+
+impl BitOr for TritWord {
+    type Output = TritWord;
+
+    #[inline]
+    fn bitor(self, rhs: TritWord) -> TritWord {
+        TritWord {
+            can_zero: self.can_zero & rhs.can_zero,
+            can_one: self.can_one | rhs.can_one,
+        }
+    }
+}
+
+impl Not for TritWord {
+    type Output = TritWord;
+
+    #[inline]
+    fn not(self) -> TritWord {
+        TritWord {
+            can_zero: self.can_one,
+            can_one: self.can_zero,
+        }
+    }
+}
+
+impl fmt::Display for TritWord {
+    /// Displays lane 0 first.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..LANES {
+            write!(f, "{}", self.lane(i))?;
+        }
+        Ok(())
+    }
+}
+
+fn lane_mask(n: usize) -> u64 {
+    if n >= 64 {
+        !0
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_roundtrip() {
+        let mut w = TritWord::ZERO;
+        w.set_lane(0, Trit::One);
+        w.set_lane(1, Trit::Meta);
+        w.set_lane(63, Trit::One);
+        assert_eq!(w.lane(0), Trit::One);
+        assert_eq!(w.lane(1), Trit::Meta);
+        assert_eq!(w.lane(2), Trit::Zero);
+        assert_eq!(w.lane(63), Trit::One);
+    }
+
+    #[test]
+    fn word_ops_match_scalar_ops_on_all_lane_combinations() {
+        // Build words whose lanes enumerate all 9 (a, b) combinations and
+        // check the packed ops against the scalar Trit ops lane by lane.
+        let mut lanes_a = Vec::new();
+        let mut lanes_b = Vec::new();
+        for a in Trit::ALL {
+            for b in Trit::ALL {
+                lanes_a.push(a);
+                lanes_b.push(b);
+            }
+        }
+        let wa = TritWord::from_lanes(&lanes_a);
+        let wb = TritWord::from_lanes(&lanes_b);
+        let and = wa & wb;
+        let or = wa | wb;
+        let not_a = !wa;
+        for i in 0..lanes_a.len() {
+            assert_eq!(and.lane(i), lanes_a[i] & lanes_b[i], "AND lane {i}");
+            assert_eq!(or.lane(i), lanes_a[i] | lanes_b[i], "OR lane {i}");
+            assert_eq!(not_a.lane(i), !lanes_a[i], "NOT lane {i}");
+        }
+    }
+
+    #[test]
+    fn splat_keeps_unused_lanes_stable() {
+        let w = TritWord::splat(Trit::Meta, 4);
+        assert_eq!(w.lane(3), Trit::Meta);
+        assert_eq!(w.lane(4), Trit::Zero);
+        assert_eq!(w.meta_mask(4), 0b1111);
+        assert_eq!(w.meta_mask(64), 0b1111);
+    }
+
+    #[test]
+    fn not_of_meta_stays_meta_per_lane() {
+        let w = TritWord::splat(Trit::Meta, 64);
+        assert_eq!(!w, w);
+    }
+
+    #[test]
+    fn constants_are_consistent() {
+        for i in [0usize, 17, 63] {
+            assert_eq!(TritWord::ZERO.lane(i), Trit::Zero);
+            assert_eq!(TritWord::ONE.lane(i), Trit::One);
+            assert_eq!(TritWord::META.lane(i), Trit::Meta);
+        }
+    }
+
+    #[test]
+    fn from_planes_validates() {
+        let w = TritWord::from_planes(!0, 0b1);
+        assert_eq!(w.lane(0), Trit::Meta);
+        assert_eq!(w.lane(1), Trit::Zero);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one value")]
+    fn from_planes_rejects_empty_lane() {
+        let _ = TritWord::from_planes(0, 0);
+    }
+
+    #[test]
+    fn to_lanes_roundtrip() {
+        let lanes = [Trit::Meta, Trit::Zero, Trit::One];
+        let w = TritWord::from_lanes(&lanes);
+        assert_eq!(w.to_lanes(3), lanes);
+    }
+}

@@ -1,0 +1,102 @@
+//! Area accounting against a technology library.
+
+use std::fmt;
+
+use crate::gate::CellKind;
+use crate::netlist::Netlist;
+use crate::tech::TechLibrary;
+
+/// Area report for a netlist under a given technology library.
+///
+/// Created by [`AreaReport::of`]. Inputs and constants occupy no area.
+#[derive(Clone, Debug)]
+pub struct AreaReport {
+    total_um2: f64,
+    by_cell: Vec<(CellKind, usize, f64)>,
+}
+
+impl AreaReport {
+    /// Computes the area of `netlist` under `lib`.
+    ///
+    /// ```
+    /// use mcs_netlist::{AreaReport, Netlist, TechLibrary};
+    ///
+    /// let mut n = Netlist::new("pair");
+    /// let a = n.input("a");
+    /// let b = n.input("b");
+    /// let f = n.and2(a, b);
+    /// n.set_output("f", f);
+    ///
+    /// let report = AreaReport::of(&n, &TechLibrary::paper_calibrated());
+    /// assert!((report.total_um2() - 1.4875).abs() < 1e-9);
+    /// ```
+    pub fn of(netlist: &Netlist, lib: &TechLibrary) -> AreaReport {
+        let mut by_cell = Vec::new();
+        let mut total = 0.0;
+        for (kind, count) in netlist.cell_counts() {
+            let area = lib.cell(kind).area_um2 * count as f64;
+            by_cell.push((kind, count, area));
+            total += area;
+        }
+        AreaReport {
+            total_um2: total,
+            by_cell,
+        }
+    }
+
+    /// Total area in µm².
+    pub fn total_um2(&self) -> f64 {
+        self.total_um2
+    }
+
+    /// Per-cell breakdown: `(kind, instance count, total area)`.
+    pub fn by_cell(&self) -> &[(CellKind, usize, f64)] {
+        &self.by_cell
+    }
+}
+
+impl fmt::Display for AreaReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "area: {:.3} µm²", self.total_um2)?;
+        for (kind, count, area) in &self.by_cell {
+            writeln!(f, "  {:9} × {:4}  {:9.3} µm²", kind.cell_name(), count, area)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_sums_cells() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        let x = n.and2(a, b);
+        let y = n.or2(a, b);
+        let z = n.inv(x);
+        let w = n.and2(z, y);
+        n.set_output("w", w);
+        let lib = TechLibrary::paper_calibrated();
+        let r = AreaReport::of(&n, &lib);
+        let want = 2.0 * 1.4875 + 1.4875 + 0.8703;
+        assert!((r.total_um2() - want).abs() < 1e-9);
+        // Breakdown covers exactly the used kinds.
+        let kinds: Vec<CellKind> = r.by_cell().iter().map(|(k, _, _)| *k).collect();
+        assert!(kinds.contains(&CellKind::And2));
+        assert!(kinds.contains(&CellKind::Or2));
+        assert!(kinds.contains(&CellKind::Inv));
+        assert_eq!(kinds.len(), 3);
+        assert!(r.to_string().contains("µm²"));
+    }
+
+    #[test]
+    fn empty_netlist_has_zero_area() {
+        let n = Netlist::new("empty");
+        let r = AreaReport::of(&n, &TechLibrary::default());
+        assert_eq!(r.total_um2(), 0.0);
+        assert!(r.by_cell().is_empty());
+    }
+}

@@ -1,0 +1,352 @@
+//! Event-driven timed simulation: waveforms under the per-cell delay model.
+//!
+//! Where [`crate::timing`] answers "how late can the last output settle"
+//! and [`crate::hazard`] answers "can this output pulse at all", this
+//! module computes the full story: given an initial stable input vector
+//! and a set of input changes, it propagates *timed events* through the
+//! netlist using each cell's delay from the technology library and records
+//! every output waveform.
+//!
+//! Gates use a **transport delay** model: every input change is re-evaluated
+//! and the result propagated after the cell delay, so even pulses shorter
+//! than a gate delay are visible. That is the conservative choice for
+//! hazard analysis — a real (inertial) gate may swallow a short pulse, but
+//! worst-case design cannot rely on it. The result lets tests assert
+//! *temporal* properties the paper claims, e.g. that a metastability-
+//! containing 2-sort's outputs switch **monotonically** (each output
+//! changes at most once per input transition — no glitch pulses), and
+//! measure per-output settling times rather than a single critical path.
+
+use mcs_logic::Trit;
+
+use crate::netlist::Netlist;
+use crate::tech::TechLibrary;
+
+/// One recorded value change on a node.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct WaveEvent {
+    /// Simulation time in picoseconds.
+    pub time_ps: f64,
+    /// The new value.
+    pub value: Trit,
+}
+
+/// A waveform: the initial value plus every change, in time order.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Waveform {
+    initial: Trit,
+    events: Vec<WaveEvent>,
+}
+
+impl Waveform {
+    /// The value before any event.
+    pub fn initial(&self) -> Trit {
+        self.initial
+    }
+
+    /// All changes in time order.
+    pub fn events(&self) -> &[WaveEvent] {
+        &self.events
+    }
+
+    /// The final settled value.
+    pub fn final_value(&self) -> Trit {
+        self.events.last().map_or(self.initial, |e| e.value)
+    }
+
+    /// Time of the last change (0 if none).
+    pub fn settle_time_ps(&self) -> f64 {
+        self.events.last().map_or(0.0, |e| e.time_ps)
+    }
+
+    /// Number of value changes. A glitch-free response to a single input
+    /// transition changes each output at most once.
+    pub fn transition_count(&self) -> usize {
+        self.events.len()
+    }
+}
+
+/// Event-driven simulator over a netlist and technology library.
+///
+/// # Example
+///
+/// ```
+/// use mcs_logic::Trit;
+/// use mcs_netlist::{event_sim::EventSim, Netlist, TechLibrary};
+///
+/// let mut n = Netlist::new("buf2");
+/// let a = n.input("a");
+/// let x = n.inv(a);
+/// let y = n.inv(x);
+/// n.set_output("y", y);
+///
+/// let lib = TechLibrary::paper_calibrated();
+/// let mut sim = EventSim::new(&n, &lib, &[Trit::Zero]);
+/// let waves = sim.apply(&[(0, Trit::One)]);
+/// assert_eq!(waves[0].final_value(), Trit::One);
+/// assert_eq!(waves[0].transition_count(), 1); // no glitch
+/// assert!(waves[0].settle_time_ps() > 0.0);   // two inverter delays
+/// ```
+pub struct EventSim<'a> {
+    netlist: &'a Netlist,
+    delays: Vec<f64>,
+    values: Vec<Trit>,
+    inputs: Vec<Trit>,
+}
+
+impl<'a> EventSim<'a> {
+    /// Initialises the simulator in the steady state of `initial_inputs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input count is wrong.
+    pub fn new(
+        netlist: &'a Netlist,
+        lib: &TechLibrary,
+        initial_inputs: &[Trit],
+    ) -> EventSim<'a> {
+        let fanouts = netlist.fanouts();
+        let delays: Vec<f64> = netlist
+            .gates()
+            .iter()
+            .enumerate()
+            .map(|(i, g)| match g.cell_kind() {
+                Some(kind) => lib.cell(kind).timing.delay_ps(fanouts[i]),
+                None => 0.0,
+            })
+            .collect();
+        let values = netlist.eval_full(initial_inputs);
+        EventSim {
+            netlist,
+            delays,
+            values,
+            inputs: initial_inputs.to_vec(),
+        }
+    }
+
+    /// Applies simultaneous input changes at t = 0 and simulates to
+    /// quiescence. Returns one [`Waveform`] per primary output, and leaves
+    /// the simulator in the settled state (so transitions can be chained).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an input index is out of range.
+    pub fn apply(&mut self, changes: &[(usize, Trit)]) -> Vec<Waveform> {
+        // Per-node pending events, processed in global time order. The
+        // event queue is tiny for combinational logic, so a sorted Vec is
+        // simpler and fast enough.
+        let node_count = self.netlist.node_count();
+        let mut waves: Vec<Waveform> = self
+            .netlist
+            .outputs()
+            .map(|(_, n)| Waveform {
+                initial: self.values[n.index()],
+                events: Vec::new(),
+            })
+            .collect();
+        // (time, node, value) min-queue, plus the latest *scheduled* value
+        // per node so transport-delay retriggering compares against what
+        // the node is already going to become.
+        let mut queue: Vec<(f64, usize, Trit)> = Vec::new();
+        let mut pending: Vec<Option<Trit>> = vec![None; node_count];
+        for &(input, value) in changes {
+            self.inputs[input] = value;
+            let node = self.netlist.input_node(input);
+            queue.push((0.0, node.index(), value));
+            pending[node.index()] = Some(value);
+        }
+
+        // Fanout adjacency, built once per apply (cheap relative to sim).
+        let mut fanout_lists: Vec<Vec<usize>> = vec![Vec::new(); node_count];
+        for (i, g) in self.netlist.gates().iter().enumerate() {
+            for dep in g.fanin() {
+                fanout_lists[dep.index()].push(i);
+            }
+        }
+
+        let mut guard = 0usize;
+        while !queue.is_empty() {
+            guard += 1;
+            assert!(
+                guard < 100 * node_count + 1000,
+                "event explosion: combinational loop or oscillation?"
+            );
+            // Pop the earliest event.
+            let k = queue
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    a.0.partial_cmp(&b.0).expect("finite times")
+                })
+                .map(|(k, _)| k)
+                .expect("non-empty");
+            let (time, node, value) = queue.swap_remove(k);
+            if !queue.iter().any(|&(_, n, _)| n == node) {
+                pending[node] = None;
+            }
+            if self.values[node] == value {
+                continue;
+            }
+            self.values[node] = value;
+            // Record output changes.
+            for (w, (_, out_node)) in waves.iter_mut().zip(self.netlist.outputs())
+            {
+                if out_node.index() == node {
+                    w.events.push(WaveEvent {
+                        time_ps: time,
+                        value,
+                    });
+                }
+            }
+            // Re-evaluate fanout gates; schedule changes after their delay
+            // (transport model: compare against the latest scheduled value,
+            // not just the current one, so pulses are preserved).
+            for &sink in &fanout_lists[node] {
+                let g = &self.netlist.gates()[sink];
+                let new_value = g.eval(|d| self.values[d.index()]);
+                let base = pending[sink].unwrap_or(self.values[sink]);
+                if new_value != base {
+                    queue.push((time + self.delays[sink], sink, new_value));
+                    pending[sink] = Some(new_value);
+                }
+            }
+        }
+        waves
+    }
+
+    /// Current settled value of every output.
+    pub fn output_values(&self) -> Vec<Trit> {
+        self.netlist
+            .outputs()
+            .map(|(_, n)| self.values[n.index()])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib() -> TechLibrary {
+        TechLibrary::paper_calibrated()
+    }
+
+    #[test]
+    fn settled_state_matches_functional_eval() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        let x = n.and2(a, b);
+        let y = n.or2(x, a);
+        n.set_output("y", y);
+        let lib = lib();
+        let mut sim = EventSim::new(&n, &lib, &[Trit::Zero, Trit::One]);
+        let _ = sim.apply(&[(0, Trit::One)]);
+        assert_eq!(sim.output_values(), n.eval(&[Trit::One, Trit::One]));
+    }
+
+    #[test]
+    fn chain_delay_accumulates() {
+        let mut n = Netlist::new("chain");
+        let a = n.input("a");
+        let mut x = a;
+        for _ in 0..4 {
+            x = n.inv(x);
+        }
+        n.set_output("x", x);
+        let lib = lib();
+        let mut sim = EventSim::new(&n, &lib, &[Trit::Zero]);
+        let waves = sim.apply(&[(0, Trit::One)]);
+        assert_eq!(waves[0].transition_count(), 1);
+        // Four inverter delays ≈ 4 × (12 + 4·1) = 64 ps.
+        assert!((waves[0].settle_time_ps() - 64.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn naive_mux_glitches_in_time_domain() {
+        // The static-1 hazard becomes a visible 1→0→1 pulse on the falling
+        // select edge: t1 = b·s drops after one AND delay, while the
+        // replacement term t0 = a·s̄ only rises after the inverter + AND —
+        // the output pulses low in between.
+        let mut n = Netlist::new("naive_mux");
+        let a = n.input("a");
+        let b = n.input("b");
+        let s = n.input("sel");
+        let ns = n.inv(s);
+        let t0 = n.and2(a, ns);
+        let t1 = n.and2(b, s);
+        let f = n.or2(t0, t1);
+        n.set_output("f", f);
+        let lib = lib();
+        let mut sim =
+            EventSim::new(&n, &lib, &[Trit::One, Trit::One, Trit::One]);
+        let waves = sim.apply(&[(2, Trit::Zero)]);
+        // Output starts 1, ends 1, but pulses low in between: > 1 change.
+        assert_eq!(waves[0].initial(), Trit::One);
+        assert_eq!(waves[0].final_value(), Trit::One);
+        assert!(
+            waves[0].transition_count() >= 2,
+            "expected a glitch pulse, got {:?}",
+            waves[0].events()
+        );
+    }
+
+    #[test]
+    fn hazard_free_mux_does_not_glitch() {
+        let mut n = Netlist::new("cmux");
+        let a = n.input("a");
+        let b = n.input("b");
+        let s = n.input("sel");
+        let ns = n.inv(s);
+        let t0 = n.and2(a, ns);
+        let t1 = n.and2(b, s);
+        let tc = n.and2(a, b);
+        let o = n.or2(t0, t1);
+        let f = n.or2(o, tc);
+        n.set_output("f", f);
+        let lib = lib();
+        let mut sim =
+            EventSim::new(&n, &lib, &[Trit::One, Trit::One, Trit::One]);
+        let waves = sim.apply(&[(2, Trit::Zero)]);
+        assert_eq!(waves[0].final_value(), Trit::One);
+        assert_eq!(
+            waves[0].transition_count(),
+            0,
+            "consensus term must hold the output: {:?}",
+            waves[0].events()
+        );
+    }
+
+    #[test]
+    fn two_transitions_can_be_chained() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let x = n.inv(a);
+        n.set_output("x", x);
+        let lib = lib();
+        let mut sim = EventSim::new(&n, &lib, &[Trit::Zero]);
+        let w1 = sim.apply(&[(0, Trit::One)]);
+        assert_eq!(w1[0].final_value(), Trit::Zero);
+        let w2 = sim.apply(&[(0, Trit::Zero)]);
+        assert_eq!(w2[0].final_value(), Trit::One);
+    }
+
+    #[test]
+    fn metastable_input_propagates_in_time() {
+        // Driving an input to M mid-flight: the AND's other leg masks it.
+        let mut n = Netlist::new("mask");
+        let a = n.input("a");
+        let b = n.input("b");
+        let f = n.and2(a, b);
+        n.set_output("f", f);
+        let lib = lib();
+        let mut sim = EventSim::new(&n, &lib, &[Trit::Zero, Trit::Zero]);
+        let w = sim.apply(&[(0, Trit::Meta)]);
+        // b = 0 keeps the output a clean 0: no events at all.
+        assert_eq!(w[0].transition_count(), 0);
+        assert_eq!(sim.output_values(), vec![Trit::Zero]);
+        let w = sim.apply(&[(1, Trit::One)]);
+        // Now the metastability reaches the output.
+        assert_eq!(w[0].final_value(), Trit::Meta);
+    }
+}

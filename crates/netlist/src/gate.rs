@@ -1,0 +1,458 @@
+//! Gate and cell definitions.
+
+use std::fmt;
+
+use mcs_logic::{Trit, TritWord};
+
+/// Index of a node (gate output wire) inside a [`Netlist`](crate::Netlist).
+///
+/// `NodeId`s are only created by the netlist builder methods and are only
+/// meaningful for the netlist that created them.
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Position of the node in the netlist's topological gate order.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A single node of a combinational netlist.
+///
+/// `Input` and `Const` are sources; everything else is a standard cell. The
+/// ternary semantics of each cell are defined in [`Gate::eval`] /
+/// [`Gate::eval_word`] and explained in the crate-level documentation.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub enum Gate {
+    /// Primary input with the given port index.
+    Input(u32),
+    /// Constant driver (stable 0 or 1).
+    Const(bool),
+    /// Inverter.
+    Inv(NodeId),
+    /// 2-input AND.
+    And2(NodeId, NodeId),
+    /// 2-input OR.
+    Or2(NodeId, NodeId),
+    /// 2-input NAND.
+    Nand2(NodeId, NodeId),
+    /// 2-input NOR.
+    Nor2(NodeId, NodeId),
+    /// 2-input XOR — *not* certified metastability-containing.
+    Xor2(NodeId, NodeId),
+    /// 2-input XNOR — *not* certified metastability-containing.
+    Xnor2(NodeId, NodeId),
+    /// 2:1 multiplexer: output = `d1` if `sel` else `d0` — *not* certified
+    /// metastability-containing (a metastable select corrupts the output
+    /// even when both data inputs agree).
+    Mux2 {
+        /// Data selected when `sel = 0`.
+        d0: NodeId,
+        /// Data selected when `sel = 1`.
+        d1: NodeId,
+        /// Select input.
+        sel: NodeId,
+    },
+    /// AND with inverted second input: `a · b̄` — AOI-class cell, *not*
+    /// certified metastability-containing.
+    AndNot2(NodeId, NodeId),
+    /// AND-OR cell: `a + (b · c)` — AOI-class cell, *not* certified
+    /// metastability-containing.
+    Ao21 {
+        /// OR-side input.
+        a: NodeId,
+        /// First AND-side input.
+        b: NodeId,
+        /// Second AND-side input.
+        c: NodeId,
+    },
+}
+
+impl Gate {
+    /// The standard-cell kind, or `None` for sources (inputs/constants).
+    pub fn cell_kind(&self) -> Option<CellKind> {
+        Some(match self {
+            Gate::Input(_) | Gate::Const(_) => return None,
+            Gate::Inv(_) => CellKind::Inv,
+            Gate::And2(..) => CellKind::And2,
+            Gate::Or2(..) => CellKind::Or2,
+            Gate::Nand2(..) => CellKind::Nand2,
+            Gate::Nor2(..) => CellKind::Nor2,
+            Gate::Xor2(..) => CellKind::Xor2,
+            Gate::Xnor2(..) => CellKind::Xnor2,
+            Gate::Mux2 { .. } => CellKind::Mux2,
+            Gate::AndNot2(..) => CellKind::AndNot2,
+            Gate::Ao21 { .. } => CellKind::Ao21,
+        })
+    }
+
+    /// The fan-in nodes, in a fixed order.
+    pub fn fanin(&self) -> FaninIter {
+        let (nodes, len) = match *self {
+            Gate::Input(_) | Gate::Const(_) => ([NodeId(0); 3], 0),
+            Gate::Inv(a) => ([a, NodeId(0), NodeId(0)], 1),
+            Gate::And2(a, b)
+            | Gate::Or2(a, b)
+            | Gate::Nand2(a, b)
+            | Gate::Nor2(a, b)
+            | Gate::Xor2(a, b)
+            | Gate::Xnor2(a, b)
+            | Gate::AndNot2(a, b) => ([a, b, NodeId(0)], 2),
+            Gate::Mux2 { d0, d1, sel } => ([d0, d1, sel], 3),
+            Gate::Ao21 { a, b, c } => ([a, b, c], 3),
+        };
+        FaninIter {
+            nodes,
+            len,
+            next: 0,
+        }
+    }
+
+    /// Ternary evaluation given the values of the fan-in nodes (see crate
+    /// docs for the cell semantics).
+    pub fn eval(&self, value_of: impl Fn(NodeId) -> Trit) -> Trit {
+        match *self {
+            Gate::Input(_) => unreachable!("inputs are evaluated externally"),
+            Gate::Const(b) => Trit::from(b),
+            Gate::Inv(a) => !value_of(a),
+            Gate::And2(a, b) => value_of(a) & value_of(b),
+            Gate::Or2(a, b) => value_of(a) | value_of(b),
+            Gate::Nand2(a, b) => !(value_of(a) & value_of(b)),
+            Gate::Nor2(a, b) => !(value_of(a) | value_of(b)),
+            Gate::Xor2(a, b) => pessimistic2(value_of(a), value_of(b), |x, y| x ^ y),
+            Gate::Xnor2(a, b) => {
+                pessimistic2(value_of(a), value_of(b), |x, y| x == y)
+            }
+            Gate::Mux2 { d0, d1, sel } => {
+                let (v0, v1, s) = (value_of(d0), value_of(d1), value_of(sel));
+                match s.to_bool() {
+                    Some(false) => v0,
+                    Some(true) => v1,
+                    // Uncertified cell: a metastable select is assumed to
+                    // corrupt the output even if d0 == d1.
+                    None => Trit::Meta,
+                }
+            }
+            Gate::AndNot2(a, b) => {
+                pessimistic2(value_of(a), value_of(b), |x, y| x && !y)
+            }
+            Gate::Ao21 { a, b, c } => {
+                match (
+                    value_of(a).to_bool(),
+                    value_of(b).to_bool(),
+                    value_of(c).to_bool(),
+                ) {
+                    (Some(x), Some(y), Some(z)) => Trit::from(x || (y && z)),
+                    _ => Trit::Meta,
+                }
+            }
+        }
+    }
+
+    /// Batched (64-lane) ternary evaluation; lane-wise identical to
+    /// [`Gate::eval`].
+    pub fn eval_word(&self, value_of: impl Fn(NodeId) -> TritWord) -> TritWord {
+        match *self {
+            Gate::Input(_) => unreachable!("inputs are evaluated externally"),
+            Gate::Const(b) => {
+                if b {
+                    TritWord::ONE
+                } else {
+                    TritWord::ZERO
+                }
+            }
+            Gate::Inv(a) => !value_of(a),
+            Gate::And2(a, b) => value_of(a) & value_of(b),
+            Gate::Or2(a, b) => value_of(a) | value_of(b),
+            Gate::Nand2(a, b) => !(value_of(a) & value_of(b)),
+            Gate::Nor2(a, b) => !(value_of(a) | value_of(b)),
+            Gate::Xor2(a, b) => {
+                let (x, y) = (value_of(a), value_of(b));
+                meta_poison(
+                    (x & !y) | (!x & y),
+                    x.meta_mask(64) | y.meta_mask(64),
+                )
+            }
+            Gate::Xnor2(a, b) => {
+                let (x, y) = (value_of(a), value_of(b));
+                meta_poison(
+                    (x & y) | (!x & !y),
+                    x.meta_mask(64) | y.meta_mask(64),
+                )
+            }
+            Gate::Mux2 { d0, d1, sel } => {
+                let (v0, v1, s) = (value_of(d0), value_of(d1), value_of(sel));
+                meta_poison((v1 & s) | (v0 & !s), s.meta_mask(64))
+            }
+            Gate::AndNot2(a, b) => {
+                let (x, y) = (value_of(a), value_of(b));
+                meta_poison(x & !y, x.meta_mask(64) | y.meta_mask(64))
+            }
+            Gate::Ao21 { a, b, c } => {
+                let (x, y, z) = (value_of(a), value_of(b), value_of(c));
+                meta_poison(
+                    x | (y & z),
+                    x.meta_mask(64) | y.meta_mask(64) | z.meta_mask(64),
+                )
+            }
+        }
+    }
+}
+
+/// Pessimistic 2-input cell: any metastable input poisons the output.
+fn pessimistic2(a: Trit, b: Trit, f: impl Fn(bool, bool) -> bool) -> Trit {
+    match (a.to_bool(), b.to_bool()) {
+        (Some(x), Some(y)) => Trit::from(f(x, y)),
+        _ => Trit::Meta,
+    }
+}
+
+/// Forces the lanes in `mask` of `w` to metastable.
+fn meta_poison(w: TritWord, mask: u64) -> TritWord {
+    TritWord::from_planes(
+        w.can_zero_plane() | mask,
+        w.can_one_plane() | mask,
+    )
+}
+
+/// Iterator over a gate's fan-in nodes. Created by [`Gate::fanin`].
+#[derive(Clone, Debug)]
+pub struct FaninIter {
+    nodes: [NodeId; 3],
+    len: u8,
+    next: u8,
+}
+
+impl Iterator for FaninIter {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        if self.next < self.len {
+            let n = self.nodes[self.next as usize];
+            self.next += 1;
+            Some(n)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = (self.len - self.next) as usize;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for FaninIter {}
+
+/// The standard-cell kinds known to the technology library.
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug)]
+pub enum CellKind {
+    /// Inverter (`INV_X1`).
+    Inv,
+    /// 2-input AND (`AND2_X1`).
+    And2,
+    /// 2-input OR (`OR2_X1`).
+    Or2,
+    /// 2-input NAND (`NAND2_X1`).
+    Nand2,
+    /// 2-input NOR (`NOR2_X1`).
+    Nor2,
+    /// 2-input XOR (`XOR2_X1`) — uncertified for metastability containment.
+    Xor2,
+    /// 2-input XNOR (`XNOR2_X1`) — uncertified.
+    Xnor2,
+    /// 2:1 mux (`MUX2_X1`) — uncertified.
+    Mux2,
+    /// AND with inverted second input (`AND2B1_X1`) — uncertified AOI-class.
+    AndNot2,
+    /// AND-OR (`AO21_X1`) — uncertified AOI-class.
+    Ao21,
+}
+
+impl CellKind {
+    /// All cell kinds.
+    pub const ALL: [CellKind; 10] = [
+        CellKind::Inv,
+        CellKind::And2,
+        CellKind::Or2,
+        CellKind::Nand2,
+        CellKind::Nor2,
+        CellKind::Xor2,
+        CellKind::Xnor2,
+        CellKind::Mux2,
+        CellKind::AndNot2,
+        CellKind::Ao21,
+    ];
+
+    /// `true` for cells whose ternary behaviour is the metastable closure of
+    /// their boolean function — the only cells the paper's circuits use.
+    pub const fn mc_certified(self) -> bool {
+        matches!(
+            self,
+            CellKind::Inv
+                | CellKind::And2
+                | CellKind::Or2
+                | CellKind::Nand2
+                | CellKind::Nor2
+        )
+    }
+
+    /// The NanGate-style cell name.
+    pub const fn cell_name(self) -> &'static str {
+        match self {
+            CellKind::Inv => "INV_X1",
+            CellKind::And2 => "AND2_X1",
+            CellKind::Or2 => "OR2_X1",
+            CellKind::Nand2 => "NAND2_X1",
+            CellKind::Nor2 => "NOR2_X1",
+            CellKind::Xor2 => "XOR2_X1",
+            CellKind::Xnor2 => "XNOR2_X1",
+            CellKind::Mux2 => "MUX2_X1",
+            CellKind::AndNot2 => "AND2B1_X1",
+            CellKind::Ao21 => "AO21_X1",
+        }
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.cell_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fanin_arity() {
+        let a = NodeId(0);
+        let b = NodeId(1);
+        let c = NodeId(2);
+        assert_eq!(Gate::Input(0).fanin().count(), 0);
+        assert_eq!(Gate::Const(true).fanin().count(), 0);
+        assert_eq!(Gate::Inv(a).fanin().collect::<Vec<_>>(), vec![a]);
+        assert_eq!(Gate::And2(a, b).fanin().collect::<Vec<_>>(), vec![a, b]);
+        assert_eq!(
+            Gate::Mux2 { d0: a, d1: b, sel: c }.fanin().collect::<Vec<_>>(),
+            vec![a, b, c]
+        );
+        assert_eq!(Gate::Xor2(a, b).fanin().len(), 2);
+    }
+
+    #[test]
+    fn cell_kind_classification() {
+        assert!(CellKind::And2.mc_certified());
+        assert!(CellKind::Nor2.mc_certified());
+        assert!(!CellKind::Mux2.mc_certified());
+        assert!(!CellKind::Xor2.mc_certified());
+        assert_eq!(Gate::Input(3).cell_kind(), None);
+        assert_eq!(Gate::Inv(NodeId(0)).cell_kind(), Some(CellKind::Inv));
+        assert_eq!(CellKind::Mux2.to_string(), "MUX2_X1");
+    }
+
+    #[test]
+    fn mux_with_metastable_select_is_poisoned() {
+        let vals = [Trit::One, Trit::One, Trit::Meta];
+        let g = Gate::Mux2 {
+            d0: NodeId(0),
+            d1: NodeId(1),
+            sel: NodeId(2),
+        };
+        // Even with agreeing data inputs, the uncertified cell yields M.
+        assert_eq!(g.eval(|n| vals[n.index()]), Trit::Meta);
+    }
+
+    #[test]
+    fn xor_xnor_pessimism() {
+        let g = Gate::Xor2(NodeId(0), NodeId(1));
+        assert_eq!(g.eval(|n| [Trit::Meta, Trit::Zero][n.index()]), Trit::Meta);
+        assert_eq!(g.eval(|n| [Trit::One, Trit::Zero][n.index()]), Trit::One);
+        let g = Gate::Xnor2(NodeId(0), NodeId(1));
+        assert_eq!(g.eval(|n| [Trit::One, Trit::One][n.index()]), Trit::One);
+        assert_eq!(g.eval(|n| [Trit::Meta, Trit::One][n.index()]), Trit::Meta);
+    }
+
+    #[test]
+    fn nand_nor_are_kleene() {
+        let vals = [Trit::Zero, Trit::Meta];
+        let nand = Gate::Nand2(NodeId(0), NodeId(1));
+        assert_eq!(nand.eval(|n| vals[n.index()]), Trit::One); // 0 controls
+        let nor = Gate::Nor2(NodeId(0), NodeId(1));
+        assert_eq!(nor.eval(|n| vals[n.index()]), Trit::Meta);
+        let vals = [Trit::One, Trit::Meta];
+        assert_eq!(nor.eval(|n| vals[n.index()]), Trit::Zero); // 1 controls
+    }
+
+    #[test]
+    fn scalar_and_word_semantics_agree_for_every_cell() {
+        // For each 2-input cell and mux, compare eval vs eval_word on all
+        // ternary input combinations.
+        let two_input: [fn(NodeId, NodeId) -> Gate; 7] = [
+            Gate::And2,
+            Gate::Or2,
+            Gate::Nand2,
+            Gate::Nor2,
+            Gate::Xor2,
+            Gate::Xnor2,
+            Gate::AndNot2,
+        ];
+        for mk in two_input {
+            let g = mk(NodeId(0), NodeId(1));
+            for a in Trit::ALL {
+                for b in Trit::ALL {
+                    let scalar = g.eval(|n| [a, b][n.index()]);
+                    let w = g.eval_word(|n| {
+                        TritWord::from_lanes(&[[a, b][n.index()]])
+                    });
+                    assert_eq!(w.lane(0), scalar, "{g:?} on ({a},{b})");
+                }
+            }
+        }
+        let three_input = [
+            Gate::Mux2 {
+                d0: NodeId(0),
+                d1: NodeId(1),
+                sel: NodeId(2),
+            },
+            Gate::Ao21 {
+                a: NodeId(0),
+                b: NodeId(1),
+                c: NodeId(2),
+            },
+        ];
+        for g in three_input {
+            for a in Trit::ALL {
+                for b in Trit::ALL {
+                    for s in Trit::ALL {
+                        let scalar = g.eval(|n| [a, b, s][n.index()]);
+                        let w = g.eval_word(|n| {
+                            TritWord::from_lanes(&[[a, b, s][n.index()]])
+                        });
+                        assert_eq!(w.lane(0), scalar, "{g:?} on ({a},{b},{s})");
+                    }
+                }
+            }
+        }
+        // Inverter and const too.
+        for a in Trit::ALL {
+            let g = Gate::Inv(NodeId(0));
+            assert_eq!(
+                g.eval_word(|_| TritWord::from_lanes(&[a])).lane(0),
+                g.eval(|_| a)
+            );
+        }
+        for b in [false, true] {
+            let g = Gate::Const(b);
+            assert_eq!(g.eval_word(|_| unreachable!()).lane(7), Trit::from(b));
+            assert_eq!(g.eval(|_| unreachable!()), Trit::from(b));
+        }
+    }
+}

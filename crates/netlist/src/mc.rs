@@ -1,0 +1,299 @@
+//! Metastability-containment checks.
+//!
+//! A circuit built only from closure-exact ("MC-certified") cells is
+//! *glitch-free* but not automatically *containing*: the composition of
+//! closures can be strictly more pessimistic than the closure of the
+//! composition (the paper's footnote 2 exhibits two boolean-equivalent
+//! formulas for `s ⋄ b` of which only one implements `⋄_M` at the gate
+//! level). This module provides:
+//!
+//! * [`assert_mc_cells_only`] — structural check: every cell is certified.
+//! * [`verify_closure_exhaustive`] — semantic check over **all** ternary
+//!   input combinations: the circuit's ternary output equals the metastable
+//!   closure of its own boolean function.
+//! * [`verify_closure_on`] — the same check over a caller-supplied input
+//!   domain (e.g. pairs of valid strings), for circuits that only need to
+//!   contain metastability on reachable inputs.
+
+use mcs_logic::{Trit, TritVec};
+
+use crate::gate::NodeId;
+use crate::netlist::Netlist;
+
+/// Violation found by a containment check.
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub enum McViolation {
+    /// A cell that is not closure-exact (e.g. XOR/MUX) is present.
+    UncertifiedCell {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// On `input`, the circuit computed `got` but the metastable closure of
+    /// its boolean function is `want`.
+    NotClosure {
+        /// The ternary input vector.
+        input: TritVec,
+        /// Circuit output.
+        got: TritVec,
+        /// Closure of the boolean function.
+        want: TritVec,
+    },
+}
+
+impl std::fmt::Display for McViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            McViolation::UncertifiedCell { node } => {
+                write!(f, "uncertified cell at node {node}")
+            }
+            McViolation::NotClosure { input, got, want } => write!(
+                f,
+                "on input {input}: circuit output {got} differs from closure {want}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for McViolation {}
+
+/// Checks that the netlist uses only MC-certified cells (AND/OR/INV and
+/// NAND/NOR). This is the structural precondition of the paper's model.
+///
+/// # Errors
+///
+/// Returns the first offending node.
+pub fn assert_mc_cells_only(netlist: &Netlist) -> Result<(), McViolation> {
+    for (i, g) in netlist.gates().iter().enumerate() {
+        if let Some(kind) = g.cell_kind() {
+            if !kind.mc_certified() {
+                return Err(McViolation::UncertifiedCell {
+                    node: NodeId(i as u32),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The boolean function of the netlist, evaluated on stable inputs.
+fn boolean_eval(netlist: &Netlist, bits: &[bool]) -> Vec<bool> {
+    let trits: Vec<Trit> = bits.iter().map(|&b| Trit::from(b)).collect();
+    netlist
+        .eval(&trits)
+        .into_iter()
+        .map(|t| t.to_bool().expect("stable inputs give stable outputs"))
+        .collect()
+}
+
+/// Checks `netlist(x) == closure(netlist_boolean)(x)` for a single input.
+fn check_one(netlist: &Netlist, input: &[Trit]) -> Result<(), McViolation> {
+    let got: TritVec = netlist.eval(input).into_iter().collect();
+    let want = mcs_logic::closure_fn_multi(input, |bits| boolean_eval(netlist, bits));
+    if got == want {
+        Ok(())
+    } else {
+        Err(McViolation::NotClosure {
+            input: TritVec::from(input),
+            got,
+            want,
+        })
+    }
+}
+
+/// Verifies over **all** `3^n` ternary input combinations that the circuit
+/// computes the metastable closure of its own boolean function.
+///
+/// Intended for small building blocks (`n ≤ ~10`).
+///
+/// # Errors
+///
+/// Returns the first violating input.
+///
+/// # Panics
+///
+/// Panics if the netlist has more than 16 inputs (the enumeration would be
+/// prohibitively large).
+pub fn verify_closure_exhaustive(netlist: &Netlist) -> Result<(), McViolation> {
+    let n = netlist.input_count();
+    assert!(n <= 16, "exhaustive ternary check limited to 16 inputs");
+    let mut input = vec![Trit::Zero; n];
+    let total = 3usize.pow(n as u32);
+    for idx in 0..total {
+        let mut k = idx;
+        for slot in input.iter_mut() {
+            *slot = Trit::ALL[k % 3];
+            k /= 3;
+        }
+        check_one(netlist, &input)?;
+    }
+    Ok(())
+}
+
+/// Verifies the closure property over a caller-supplied set of ternary
+/// input vectors (e.g. all pairs of valid strings).
+///
+/// # Errors
+///
+/// Returns the first violating input.
+///
+/// # Panics
+///
+/// Panics if an input vector has the wrong arity.
+pub fn verify_closure_on<'a>(
+    netlist: &Netlist,
+    domain: impl IntoIterator<Item = &'a [Trit]>,
+) -> Result<(), McViolation> {
+    for input in domain {
+        assert_eq!(input.len(), netlist.input_count(), "input arity mismatch");
+        check_one(netlist, input)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// cmux built from certified cells: the hazard-free mux with the
+    /// consensus term `a·b`, which masks a metastable select whenever the
+    /// data inputs agree. Without the consensus term the AND/OR mux is *not*
+    /// closure-exact — see `naive_mux_structure_is_not_closure_exact`.
+    fn cmux() -> Netlist {
+        let mut n = Netlist::new("cmux");
+        let a = n.input("a");
+        let b = n.input("b");
+        let sel = n.input("sel");
+        let ns = n.inv(sel);
+        let t0 = n.and2(a, ns);
+        let t1 = n.and2(b, sel);
+        let tc = n.and2(a, b);
+        let o = n.or2(t0, t1);
+        let f = n.or2(o, tc);
+        n.set_output("f", f);
+        n
+    }
+
+    #[test]
+    fn cmux_is_certified_and_closure_exact() {
+        let n = cmux();
+        assert!(assert_mc_cells_only(&n).is_ok());
+        assert!(verify_closure_exhaustive(&n).is_ok());
+    }
+
+    #[test]
+    fn naive_mux_structure_is_not_closure_exact() {
+        // (a·s̄) + (b·s) without the consensus term: certified cells, correct
+        // boolean function, but a metastable select leaks through even when
+        // a == b — composition of closures is weaker than the closure.
+        let mut n = Netlist::new("naive_mux");
+        let a = n.input("a");
+        let b = n.input("b");
+        let sel = n.input("sel");
+        let ns = n.inv(sel);
+        let t0 = n.and2(a, ns);
+        let t1 = n.and2(b, sel);
+        let f = n.or2(t0, t1);
+        n.set_output("f", f);
+        assert!(assert_mc_cells_only(&n).is_ok());
+        assert!(matches!(
+            verify_closure_exhaustive(&n),
+            Err(McViolation::NotClosure { .. })
+        ));
+        assert_eq!(
+            n.eval(&[Trit::One, Trit::One, Trit::Meta]),
+            vec![Trit::Meta]
+        );
+    }
+
+    #[test]
+    fn mux_cell_fails_both_checks() {
+        let mut n = Netlist::new("mux");
+        let a = n.input("a");
+        let b = n.input("b");
+        let s = n.input("sel");
+        let f = n.mux2(a, b, s);
+        n.set_output("f", f);
+        assert!(matches!(
+            assert_mc_cells_only(&n),
+            Err(McViolation::UncertifiedCell { .. })
+        ));
+        let err = verify_closure_exhaustive(&n).unwrap_err();
+        match &err {
+            McViolation::NotClosure { input, got, want } => {
+                // The violating input must involve a metastable select with
+                // agreeing data.
+                assert_eq!(input.len(), 3);
+                assert_ne!(got, want);
+            }
+            other => panic!("expected NotClosure, got {other}"),
+        }
+        assert!(err.to_string().contains("differs from closure"));
+    }
+
+    #[test]
+    fn footnote_2_optimized_formula_is_not_closure_exact() {
+        // Footnote 2: the product form (x₁ + ȳ₁)(x₂ + y₁) is
+        // boolean-equivalent to the paper's chosen sum form
+        // x₁(x₂ + y₁) + x₂ȳ₁ for the first ⋄̂_M output, but its gate-level
+        // circuit outputs M where (10 ⋄ M0) demands a stable 0. Wires here
+        // are the N-form inputs x₁ = s̄₁, x₂ = s₂, y₁ = b̄₁.
+        let mut bad = Netlist::new("footnote2_bad");
+        let x1 = bad.input("x1");
+        let x2 = bad.input("x2");
+        let y1 = bad.input("y1");
+        let ny1 = bad.inv(y1);
+        let l = bad.or2(x1, ny1);
+        let r = bad.or2(x2, y1);
+        let f = bad.and2(l, r);
+        bad.set_output("f", f);
+
+        // Same boolean function, the paper's sum-of-products structure.
+        let mut good = Netlist::new("footnote2_good");
+        let gx1 = good.input("x1");
+        let gx2 = good.input("x2");
+        let gy1 = good.input("y1");
+        let gny1 = good.inv(gy1);
+        let gl = good.or2(gx2, gy1);
+        let t0 = good.and2(gx1, gl);
+        let t1 = good.and2(gx2, gny1);
+        let gf = good.or2(t0, t1);
+        good.set_output("f", gf);
+
+        // Both use certified cells and agree on all stable inputs …
+        assert!(assert_mc_cells_only(&bad).is_ok());
+        assert!(assert_mc_cells_only(&good).is_ok());
+        for bits in 0..8u32 {
+            let input: Vec<Trit> = (0..3)
+                .map(|i| Trit::from((bits >> i) & 1 == 1))
+                .collect();
+            assert_eq!(bad.eval(&input), good.eval(&input), "stable {bits:03b}");
+        }
+        // … but only the paper's structure is closure-exact.
+        assert!(verify_closure_exhaustive(&good).is_ok());
+        let err = verify_closure_exhaustive(&bad).unwrap_err();
+        assert!(matches!(err, McViolation::NotClosure { .. }));
+
+        // The paper's specific counterexample s = 10, b = M0, i.e.
+        // (x₁, x₂, y₁) = (0, 0, M): expected stable 0, bad circuit gives M.
+        let probe = [Trit::Zero, Trit::Zero, Trit::Meta];
+        assert_eq!(bad.eval(&probe), vec![Trit::Meta]);
+        assert_eq!(good.eval(&probe), vec![Trit::Zero]);
+    }
+
+    #[test]
+    fn domain_restricted_check() {
+        let n = cmux();
+        let dom: Vec<Vec<Trit>> = vec![
+            vec![Trit::One, Trit::One, Trit::Meta],
+            vec![Trit::Zero, Trit::One, Trit::Zero],
+        ];
+        let refs: Vec<&[Trit]> = dom.iter().map(|v| v.as_slice()).collect();
+        assert!(verify_closure_on(&n, refs).is_ok());
+    }
+
+    #[test]
+    fn uncertified_error_displays() {
+        let e = McViolation::UncertifiedCell { node: NodeId(7) };
+        assert!(e.to_string().contains("n7"));
+    }
+}

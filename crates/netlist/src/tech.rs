@@ -1,0 +1,243 @@
+//! Technology library: per-cell area and a linear delay model.
+//!
+//! The paper synthesises onto the NanGate 45 nm Open Cell Library and
+//! reports *post-layout* area and *pre-layout* delay. We cannot run Cadence
+//! Encounter, so this module supplies two libraries:
+//!
+//! * [`TechLibrary::nangate45_like`] — raw NanGate-45nm-style cell areas and
+//!   a generic linear delay model (intrinsic + slope · fanout).
+//! * [`TechLibrary::paper_calibrated`] — the default for experiments: the
+//!   effective per-cell areas solved from the paper's own Table 7 (the
+//!   paper's post-layout area column is, to within rounding, a linear
+//!   function of the cell mix with AND2/OR2 ≈ 1.4875 µm² and
+//!   INV ≈ 0.8703 µm²), and delay constants tuned so that the 2-sort(B)
+//!   critical paths land near the paper's picosecond figures.
+//!
+//! Absolute numbers are a model; all *comparisons* between circuits use the
+//! same library, exactly as in the paper.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::gate::CellKind;
+
+/// Linear delay model for one cell: `delay = intrinsic + per_fanout · fanout`
+/// (picoseconds).
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct CellTiming {
+    /// Fixed propagation delay in picoseconds.
+    pub intrinsic_ps: f64,
+    /// Additional delay per driven input pin, in picoseconds.
+    pub per_fanout_ps: f64,
+}
+
+impl CellTiming {
+    /// Delay for a given fanout.
+    pub fn delay_ps(&self, fanout: u32) -> f64 {
+        self.intrinsic_ps + self.per_fanout_ps * f64::from(fanout)
+    }
+}
+
+/// Area and timing data for one standard cell.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct CellSpec {
+    /// Cell area in µm².
+    pub area_um2: f64,
+    /// Linear delay model.
+    pub timing: CellTiming,
+}
+
+/// A named collection of [`CellSpec`]s covering every [`CellKind`].
+#[derive(Clone, Debug)]
+pub struct TechLibrary {
+    name: String,
+    cells: BTreeMap<CellKind, CellSpec>,
+}
+
+impl TechLibrary {
+    /// Builds a library from explicit cell specs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any [`CellKind`] is missing.
+    pub fn from_cells(
+        name: impl Into<String>,
+        cells: BTreeMap<CellKind, CellSpec>,
+    ) -> TechLibrary {
+        for kind in CellKind::ALL {
+            assert!(cells.contains_key(&kind), "missing cell spec for {kind}");
+        }
+        TechLibrary {
+            name: name.into(),
+            cells,
+        }
+    }
+
+    /// Raw NanGate-45nm-style library: datasheet-like cell areas, generic
+    /// delay constants.
+    pub fn nangate45_like() -> TechLibrary {
+        let t = |i: f64, s: f64| CellTiming {
+            intrinsic_ps: i,
+            per_fanout_ps: s,
+        };
+        let mut cells = BTreeMap::new();
+        let mut add = |k: CellKind, area: f64, timing: CellTiming| {
+            cells.insert(
+                k,
+                CellSpec {
+                    area_um2: area,
+                    timing,
+                },
+            );
+        };
+        add(CellKind::Inv, 0.532, t(8.0, 3.0));
+        add(CellKind::And2, 0.798, t(22.0, 4.0));
+        add(CellKind::Or2, 0.798, t(22.0, 4.0));
+        add(CellKind::Nand2, 0.532, t(12.0, 4.0));
+        add(CellKind::Nor2, 0.532, t(14.0, 4.0));
+        add(CellKind::Xor2, 1.596, t(32.0, 5.0));
+        add(CellKind::Xnor2, 1.596, t(32.0, 5.0));
+        add(CellKind::Mux2, 1.862, t(30.0, 5.0));
+        add(CellKind::AndNot2, 0.798, t(20.0, 4.0));
+        add(CellKind::Ao21, 1.064, t(26.0, 4.0));
+        TechLibrary::from_cells("nangate45-like", cells)
+    }
+
+    /// The default experiment library: cell areas calibrated so that the
+    /// modelled post-layout area of the paper's own circuits reproduces its
+    /// Table 7 area column (see module docs), with matching delay constants.
+    pub fn paper_calibrated() -> TechLibrary {
+        let t = |i: f64, s: f64| CellTiming {
+            intrinsic_ps: i,
+            per_fanout_ps: s,
+        };
+        let mut cells = BTreeMap::new();
+        let mut add = |k: CellKind, area: f64, timing: CellTiming| {
+            cells.insert(
+                k,
+                CellSpec {
+                    area_um2: area,
+                    timing,
+                },
+            );
+        };
+        // Effective post-layout areas solved from Table 7 (B = 2 … 16 rows
+        // agree to ±0.1%): AND2/OR2 = 1.4875 µm², INV = 0.8703 µm².
+        add(CellKind::Inv, 0.8703, t(12.0, 4.0));
+        add(CellKind::And2, 1.4875, t(28.0, 5.25));
+        add(CellKind::Or2, 1.4875, t(28.0, 5.25));
+        // Cells below are not used by the paper's circuits; areas keep the
+        // same ~1.86× post-layout factor over the raw library.
+        add(CellKind::Nand2, 0.8703, t(13.0, 4.5));
+        add(CellKind::Nor2, 0.8703, t(15.0, 4.5));
+        add(CellKind::Xor2, 2.7, t(34.0, 5.5));
+        add(CellKind::Xnor2, 2.7, t(34.0, 5.5));
+        add(CellKind::Mux2, 3.2, t(32.0, 5.5));
+        add(CellKind::AndNot2, 1.4875, t(22.0, 4.5));
+        add(CellKind::Ao21, 1.9, t(28.0, 4.5));
+        TechLibrary::from_cells("paper-calibrated (NanGate45 post-layout)", cells)
+    }
+
+    /// Library name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Spec of one cell kind.
+    pub fn cell(&self, kind: CellKind) -> CellSpec {
+        self.cells[&kind]
+    }
+
+    /// Replaces the spec of one cell kind (useful for sensitivity studies).
+    pub fn with_cell(mut self, kind: CellKind, spec: CellSpec) -> TechLibrary {
+        self.cells.insert(kind, spec);
+        self
+    }
+}
+
+impl Default for TechLibrary {
+    fn default() -> TechLibrary {
+        TechLibrary::paper_calibrated()
+    }
+}
+
+impl fmt::Display for TechLibrary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "technology library: {}", self.name)?;
+        for (kind, spec) in &self.cells {
+            writeln!(
+                f,
+                "  {:9} area {:6.3} µm²  delay {:5.1} + {:3.1}·fanout ps",
+                kind.cell_name(),
+                spec.area_um2,
+                spec.timing.intrinsic_ps,
+                spec.timing.per_fanout_ps
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn libraries_cover_all_cells() {
+        for lib in [TechLibrary::nangate45_like(), TechLibrary::paper_calibrated()]
+        {
+            for kind in CellKind::ALL {
+                let spec = lib.cell(kind);
+                assert!(spec.area_um2 > 0.0);
+                assert!(spec.timing.intrinsic_ps > 0.0);
+                assert!(spec.timing.per_fanout_ps >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn delay_model_is_linear_in_fanout() {
+        let t = CellTiming {
+            intrinsic_ps: 20.0,
+            per_fanout_ps: 4.0,
+        };
+        assert_eq!(t.delay_ps(0), 20.0);
+        assert_eq!(t.delay_ps(3), 32.0);
+    }
+
+    #[test]
+    fn default_is_paper_calibrated() {
+        let lib = TechLibrary::default();
+        assert!(lib.name().contains("paper-calibrated"));
+        let and2 = lib.cell(CellKind::And2);
+        assert!((and2.area_um2 - 1.4875).abs() < 1e-9);
+    }
+
+    #[test]
+    fn with_cell_overrides() {
+        let lib = TechLibrary::nangate45_like().with_cell(
+            CellKind::Inv,
+            CellSpec {
+                area_um2: 9.0,
+                timing: CellTiming {
+                    intrinsic_ps: 1.0,
+                    per_fanout_ps: 0.0,
+                },
+            },
+        );
+        assert_eq!(lib.cell(CellKind::Inv).area_um2, 9.0);
+    }
+
+    #[test]
+    fn display_lists_cells() {
+        let s = TechLibrary::nangate45_like().to_string();
+        assert!(s.contains("AND2_X1"));
+        assert!(s.contains("MUX2_X1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "missing cell spec")]
+    fn from_cells_requires_all_kinds() {
+        let _ = TechLibrary::from_cells("broken", BTreeMap::new());
+    }
+}

@@ -1,0 +1,219 @@
+//! Static timing analysis with the linear per-cell delay model.
+
+use std::fmt;
+
+use crate::gate::NodeId;
+use crate::netlist::Netlist;
+use crate::tech::TechLibrary;
+
+/// Result of static timing analysis: per-node arrival times, the circuit
+/// delay and the critical path.
+///
+/// Arrival time of a node is the maximum arrival over its fan-ins plus the
+/// node's own cell delay (`intrinsic + per_fanout · fanout`); primary inputs
+/// and constants arrive at t = 0. The circuit delay is the maximum arrival
+/// over primary outputs — the paper's "delay \[ps\]" metric.
+#[derive(Clone, Debug)]
+pub struct TimingReport {
+    arrival_ps: Vec<f64>,
+    delay_ps: f64,
+    critical_path: Vec<NodeId>,
+}
+
+impl TimingReport {
+    /// Runs static timing analysis on `netlist` under `lib`.
+    ///
+    /// ```
+    /// use mcs_netlist::{Netlist, TechLibrary, TimingReport};
+    ///
+    /// let mut n = Netlist::new("chain");
+    /// let a = n.input("a");
+    /// let x = n.inv(a);
+    /// let y = n.inv(x);
+    /// n.set_output("y", y);
+    ///
+    /// let t = TimingReport::of(&n, &TechLibrary::paper_calibrated());
+    /// assert!(t.delay_ps() > 0.0);
+    /// assert_eq!(t.critical_path().len(), 3); // input, inv, inv
+    /// ```
+    pub fn of(netlist: &Netlist, lib: &TechLibrary) -> TimingReport {
+        let fanouts = netlist.fanouts();
+        let mut arrival = vec![0.0f64; netlist.node_count()];
+        for (i, g) in netlist.gates().iter().enumerate() {
+            if let Some(kind) = g.cell_kind() {
+                let input_arrival = g
+                    .fanin()
+                    .map(|d| arrival[d.index()])
+                    .fold(0.0f64, f64::max);
+                let delay = lib.cell(kind).timing.delay_ps(fanouts[i]);
+                arrival[i] = input_arrival + delay;
+            }
+        }
+        let (delay_ps, worst_output) = netlist
+            .outputs()
+            .map(|(_, n)| (arrival[n.index()], n))
+            .fold((0.0f64, None), |(best, who), (t, n)| {
+                if who.is_none() || t > best {
+                    (t, Some(n))
+                } else {
+                    (best, who)
+                }
+            });
+
+        // Walk the critical path backwards: at each gate follow the fan-in
+        // with the latest arrival.
+        let mut critical_path = Vec::new();
+        if let Some(mut node) = worst_output {
+            loop {
+                critical_path.push(node);
+                let g = &netlist.gates()[node.index()];
+                match g
+                    .fanin()
+                    .max_by(|a, b| {
+                        arrival[a.index()]
+                            .partial_cmp(&arrival[b.index()])
+                            .expect("arrival times are finite")
+                    }) {
+                    Some(prev) => node = prev,
+                    None => break,
+                }
+            }
+            critical_path.reverse();
+        }
+        TimingReport {
+            arrival_ps: arrival,
+            delay_ps,
+            critical_path,
+        }
+    }
+
+    /// The circuit delay in picoseconds.
+    pub fn delay_ps(&self) -> f64 {
+        self.delay_ps
+    }
+
+    /// Arrival time of a specific node.
+    pub fn arrival_ps(&self, node: NodeId) -> f64 {
+        self.arrival_ps[node.index()]
+    }
+
+    /// The critical path from a primary input/constant to the worst output.
+    pub fn critical_path(&self) -> &[NodeId] {
+        &self.critical_path
+    }
+}
+
+impl fmt::Display for TimingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "delay {:.0} ps over {} critical nodes",
+            self.delay_ps,
+            self.critical_path.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tech::{CellSpec, CellTiming, TechLibrary};
+    use crate::CellKind;
+
+    fn unit_lib() -> TechLibrary {
+        // Every cell: delay exactly 1 ps, no fanout term — so delay == depth.
+        let mut lib = TechLibrary::nangate45_like();
+        for kind in CellKind::ALL {
+            lib = lib.with_cell(
+                kind,
+                CellSpec {
+                    area_um2: 1.0,
+                    timing: CellTiming {
+                        intrinsic_ps: 1.0,
+                        per_fanout_ps: 0.0,
+                    },
+                },
+            );
+        }
+        lib
+    }
+
+    #[test]
+    fn unit_delay_equals_depth() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        let x = n.and2(a, b);
+        let y = n.or2(x, b);
+        let z = n.inv(y);
+        n.set_output("z", z);
+        let t = TimingReport::of(&n, &unit_lib());
+        assert_eq!(t.delay_ps(), n.depth() as f64);
+        assert_eq!(t.delay_ps(), 3.0);
+    }
+
+    #[test]
+    fn critical_path_tracks_slowest_branch() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        // Slow branch: 3 inverters from a; fast branch: b directly.
+        let i1 = n.inv(a);
+        let i2 = n.inv(i1);
+        let i3 = n.inv(i2);
+        let f = n.and2(i3, b);
+        n.set_output("f", f);
+        let t = TimingReport::of(&n, &unit_lib());
+        assert_eq!(t.delay_ps(), 4.0);
+        let path = t.critical_path();
+        assert_eq!(path.first().copied(), Some(a));
+        assert_eq!(path.last().copied(), Some(f));
+        assert_eq!(path.len(), 5);
+    }
+
+    #[test]
+    fn fanout_increases_delay() {
+        let lib = TechLibrary::paper_calibrated();
+        // One inverter driving one load …
+        let mut n1 = Netlist::new("fo1");
+        let a = n1.input("a");
+        let x = n1.inv(a);
+        n1.set_output("x", x);
+        // … versus driving four loads.
+        let mut n4 = Netlist::new("fo4");
+        let a4 = n4.input("a");
+        let x4 = n4.inv(a4);
+        for i in 0..4 {
+            n4.set_output(format!("x{i}"), x4);
+        }
+        let t1 = TimingReport::of(&n1, &lib);
+        let t4 = TimingReport::of(&n4, &lib);
+        assert!(t4.delay_ps() > t1.delay_ps());
+    }
+
+    #[test]
+    fn arrival_times_monotone_along_path() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let x = n.inv(a);
+        let y = n.and2(x, a);
+        n.set_output("y", y);
+        let t = TimingReport::of(&n, &TechLibrary::default());
+        let mut last = -1.0;
+        for node in t.critical_path() {
+            assert!(t.arrival_ps(*node) >= last);
+            last = t.arrival_ps(*node);
+        }
+        assert!(t.to_string().contains("ps"));
+    }
+
+    #[test]
+    fn netlist_without_outputs_has_zero_delay() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let _ = n.inv(a);
+        let t = TimingReport::of(&n, &TechLibrary::default());
+        assert_eq!(t.delay_ps(), 0.0);
+        assert!(t.critical_path().is_empty());
+    }
+}

@@ -1,0 +1,167 @@
+//! VCD (Value Change Dump) export for event-driven simulations.
+//!
+//! Writes the industry-standard waveform format (IEEE 1364) so traces from
+//! [`crate::event_sim`] can be inspected in GTKWave or any EDA waveform
+//! viewer. Metastable values are emitted as `x`, the standard unknown —
+//! which is exactly the worst-case reading of `M`.
+
+use std::fmt::Write as _;
+
+use mcs_logic::Trit;
+
+use crate::event_sim::Waveform;
+use crate::netlist::Netlist;
+
+fn vcd_char(t: Trit) -> char {
+    match t {
+        Trit::Zero => '0',
+        Trit::One => '1',
+        Trit::Meta => 'x',
+    }
+}
+
+/// Short VCD identifier for signal `i` (printable ASCII 33..=126).
+fn ident(mut i: usize) -> String {
+    let mut s = String::new();
+    loop {
+        s.push(char::from(33 + (i % 94) as u8));
+        i /= 94;
+        if i == 0 {
+            break;
+        }
+    }
+    s
+}
+
+/// Renders one waveform per primary output of `netlist` as a VCD document.
+/// Timescale is 1 ps, matching the technology model's units.
+///
+/// # Panics
+///
+/// Panics if `waves.len()` differs from the netlist's output count.
+///
+/// # Example
+///
+/// ```
+/// use mcs_logic::Trit;
+/// use mcs_netlist::event_sim::EventSim;
+/// use mcs_netlist::vcd::to_vcd;
+/// use mcs_netlist::{Netlist, TechLibrary};
+///
+/// let mut n = Netlist::new("demo");
+/// let a = n.input("a");
+/// let x = n.inv(a);
+/// n.set_output("x", x);
+/// let lib = TechLibrary::paper_calibrated();
+/// let mut sim = EventSim::new(&n, &lib, &[Trit::Zero]);
+/// let waves = sim.apply(&[(0, Trit::One)]);
+/// let vcd = to_vcd(&n, &waves);
+/// assert!(vcd.contains("$var wire 1"));
+/// assert!(vcd.contains("$timescale 1ps $end"));
+/// ```
+pub fn to_vcd(netlist: &Netlist, waves: &[Waveform]) -> String {
+    assert_eq!(
+        waves.len(),
+        netlist.output_count(),
+        "one waveform per output"
+    );
+    let mut s = String::new();
+    let _ = writeln!(s, "$date reproduction run $end");
+    let _ = writeln!(s, "$version mcs-netlist $end");
+    let _ = writeln!(s, "$timescale 1ps $end");
+    let _ = writeln!(s, "$scope module {} $end", sanitize(netlist.name()));
+    for (i, (name, _)) in netlist.outputs().enumerate() {
+        let _ = writeln!(s, "$var wire 1 {} {} $end", ident(i), sanitize(name));
+    }
+    let _ = writeln!(s, "$upscope $end");
+    let _ = writeln!(s, "$enddefinitions $end");
+
+    // Initial values.
+    let _ = writeln!(s, "#0");
+    let _ = writeln!(s, "$dumpvars");
+    for (i, w) in waves.iter().enumerate() {
+        let _ = writeln!(s, "{}{}", vcd_char(w.initial()), ident(i));
+    }
+    let _ = writeln!(s, "$end");
+
+    // Merge all events in time order (times are f64 ps; round to integers).
+    let mut merged: Vec<(u64, usize, Trit)> = Vec::new();
+    for (i, w) in waves.iter().enumerate() {
+        for e in w.events() {
+            merged.push((e.time_ps.round() as u64, i, e.value));
+        }
+    }
+    merged.sort_by_key(|&(t, i, _)| (t, i));
+    let mut last_time: Option<u64> = None;
+    for (t, i, v) in merged {
+        if last_time != Some(t) {
+            let _ = writeln!(s, "#{t}");
+            last_time = Some(t);
+        }
+        let _ = writeln!(s, "{}{}", vcd_char(v), ident(i));
+    }
+    s
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event_sim::EventSim;
+    use crate::tech::TechLibrary;
+
+    #[test]
+    fn vcd_structure_and_ordering() {
+        // Two outputs with different settle times; events must appear in
+        // ascending time order.
+        let mut n = Netlist::new("pair");
+        let a = n.input("a");
+        let fast = n.inv(a);
+        let s1 = n.inv(fast);
+        let slow = n.inv(s1);
+        n.set_output("fast", fast);
+        n.set_output("slow", slow);
+        let lib = TechLibrary::paper_calibrated();
+        let mut sim = EventSim::new(&n, &lib, &[mcs_logic::Trit::Zero]);
+        let waves = sim.apply(&[(0, mcs_logic::Trit::One)]);
+        let vcd = to_vcd(&n, &waves);
+        assert!(vcd.contains("$var wire 1 ! fast $end"));
+        assert!(vcd.contains("$var wire 1 \" slow $end"));
+        // Time stamps strictly increase through the document body.
+        let times: Vec<u64> = vcd
+            .lines()
+            .filter(|l| l.starts_with('#'))
+            .map(|l| l[1..].parse().unwrap())
+            .collect();
+        assert!(times.windows(2).all(|w| w[0] < w[1]), "{times:?}");
+        assert!(times.len() >= 2);
+    }
+
+    #[test]
+    fn metastable_values_render_as_x() {
+        let mut n = Netlist::new("m");
+        let a = n.input("a");
+        let x = n.inv(a);
+        n.set_output("x", x);
+        let lib = TechLibrary::paper_calibrated();
+        let mut sim = EventSim::new(&n, &lib, &[mcs_logic::Trit::Zero]);
+        let waves = sim.apply(&[(0, mcs_logic::Trit::Meta)]);
+        let vcd = to_vcd(&n, &waves);
+        assert!(vcd.contains("x!"), "{vcd}");
+    }
+
+    #[test]
+    fn identifiers_are_unique_and_printable() {
+        let ids: Vec<String> = (0..200).map(ident).collect();
+        let unique: std::collections::HashSet<&String> = ids.iter().collect();
+        assert_eq!(unique.len(), ids.len());
+        for id in &ids {
+            assert!(id.chars().all(|c| ('!'..='~').contains(&c)));
+        }
+    }
+}

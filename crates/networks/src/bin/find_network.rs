@@ -1,0 +1,80 @@
+//! Offline search driver: rediscovers depth-optimal sorting networks.
+//!
+//! Usage: `find_network <channels> <max_depth> [target_size] [seconds]`
+//!
+//! Runs the simulated-annealing search of `mcs_networks::search` with
+//! restarts until the wall-clock budget is exhausted, printing the best
+//! network found as a Rust array literal ready to pin into `optimal.rs`.
+
+use std::time::{Duration, Instant};
+
+use mcs_networks::search::{search, search_saturated, SearchConfig};
+use mcs_networks::verify::zero_one_verify;
+use mcs_networks::Network;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let channels: usize = args.get(1).map(|s| s.parse().unwrap()).unwrap_or(9);
+    let max_depth: usize = args.get(2).map(|s| s.parse().unwrap()).unwrap_or(7);
+    let target_size: usize = args.get(3).map(|s| s.parse().unwrap()).unwrap_or(0);
+    let seconds: u64 = args.get(4).map(|s| s.parse().unwrap()).unwrap_or(60);
+    let deadline = Instant::now() + Duration::from_secs(seconds);
+
+    let mut best: Option<Network> = None;
+    let mut seed: u64 = args.get(5).map(|s| s.parse().unwrap()).unwrap_or(1);
+    while Instant::now() < deadline {
+        let mut config = SearchConfig::new(channels, max_depth);
+        config.iterations = 20_000_000;
+        config.seed = seed;
+        config.symmetric = !seed.is_multiple_of(4); // mostly symmetric, some free
+        config.frozen_layers = (seed % 3).min(2) as usize; // 0, 1 or 2
+        // Even channel counts: alternate between the saturated-matching
+        // search (better for depth-optimal hunting) and the free search.
+        let found = if channels.is_multiple_of(2) && !seed.is_multiple_of(5) {
+            search_saturated(config)
+        } else {
+            search(config)
+        };
+        if let Some(net) = found {
+            assert!(zero_one_verify(&net).is_ok());
+            assert!(net.depth() <= max_depth);
+            let better = match &best {
+                None => true,
+                Some(b) => net.size() < b.size(),
+            };
+            if better {
+                eprintln!(
+                    "seed {seed}: sorter with {} comparators, depth {}",
+                    net.size(),
+                    net.depth()
+                );
+                best = Some(net.clone());
+                if target_size > 0 && net.size() <= target_size {
+                    break;
+                }
+            }
+        }
+        seed += 1;
+    }
+
+    match best {
+        Some(net) => {
+            println!(
+                "// {}-channel, depth {}, {} comparators",
+                channels,
+                net.depth(),
+                net.size()
+            );
+            let pairs: Vec<String> = net
+                .comparators()
+                .iter()
+                .map(|c| format!("({}, {})", c.lo(), c.hi()))
+                .collect();
+            println!("[{}]", pairs.join(", "));
+        }
+        None => {
+            eprintln!("no sorter found within budget");
+            std::process::exit(1);
+        }
+    }
+}

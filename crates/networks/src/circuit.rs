@@ -1,0 +1,280 @@
+//! Instantiating a comparator network into a complete gate-level sorting
+//! circuit: one 2-sort subcircuit per comparator.
+
+use mcs_core::ppc::PrefixTopology;
+use mcs_core::two_sort::build_two_sort;
+use mcs_gray::ValidString;
+use mcs_logic::{Trit, TritVec};
+use mcs_netlist::Netlist;
+
+use crate::comparator::Network;
+
+/// Which 2-sort implementation to plug into each comparator.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, Default)]
+pub enum TwoSortFlavor {
+    /// This paper's circuit (Ladner–Fischer PPC). The default.
+    #[default]
+    Paper,
+    /// This paper's blocks over an explicit prefix topology.
+    PaperWithTopology(PrefixTopology),
+    /// The Θ(B log B) DATE 2017 reconstruction.
+    Bund2017,
+    /// The serial depth-Θ(B) ASYNC 2016 shape.
+    Serial2016,
+    /// The non-containing binary comparator (binary inputs!).
+    BinComp,
+}
+
+impl TwoSortFlavor {
+    /// Builds one 2-sort instance of this flavour.
+    pub fn build(self, width: usize) -> Netlist {
+        match self {
+            TwoSortFlavor::Paper => {
+                build_two_sort(width, PrefixTopology::LadnerFischer)
+            }
+            TwoSortFlavor::PaperWithTopology(t) => build_two_sort(width, t),
+            TwoSortFlavor::Bund2017 => {
+                mcs_baselines::bund2017::build_bund2017_two_sort(width)
+            }
+            TwoSortFlavor::Serial2016 => {
+                mcs_baselines::serial2016::build_serial_two_sort(width)
+            }
+            TwoSortFlavor::BinComp => mcs_baselines::bincomp::build_bincomp(width),
+        }
+    }
+
+    /// Short name for reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            TwoSortFlavor::Paper => "this-paper",
+            TwoSortFlavor::PaperWithTopology(_) => "this-paper(topology)",
+            TwoSortFlavor::Bund2017 => "bund2017-reconstruction",
+            TwoSortFlavor::Serial2016 => "serial2016",
+            TwoSortFlavor::BinComp => "bin-comp",
+        }
+    }
+}
+
+/// Builds the complete n-channel, B-bit sorting circuit: the network's
+/// comparators are replaced by 2-sort instances; channel `c` occupies input
+/// ports `c·B … c·B+B−1` (MSB first) and the same output ports, sorted
+/// ascending (channel 0 = minimum).
+///
+/// The gate count is exactly `network.size() × gates(2-sort(B))` — the
+/// paper's Table 8 gate counts.
+///
+/// ```
+/// use mcs_networks::circuit::{build_sorting_circuit, TwoSortFlavor};
+/// use mcs_networks::optimal::ten_sort_size;
+///
+/// // Table 8: 10-sort# at B = 2 has 29 × 13 = 377 gates.
+/// let c = build_sorting_circuit(&ten_sort_size(), 2, TwoSortFlavor::Paper);
+/// assert_eq!(c.gate_count(), 377);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `width` is 0 or exceeds 63.
+pub fn build_sorting_circuit(
+    network: &Network,
+    width: usize,
+    flavor: TwoSortFlavor,
+) -> Netlist {
+    let n = network.channels();
+    let mut net = Netlist::new(format!(
+        "{}_sort_{}x{}b",
+        flavor.name(),
+        n,
+        width
+    ));
+    let two_sort = flavor.build(width);
+    let mut channels: Vec<Vec<mcs_netlist::NodeId>> = (0..n)
+        .map(|c| {
+            (0..width)
+                .map(|b| net.input(format!("ch{c}_b{b}")))
+                .collect()
+        })
+        .collect();
+    for comp in network.comparators() {
+        let mut inputs = channels[comp.lo()].clone();
+        inputs.extend(channels[comp.hi()].iter().copied());
+        let outs = net.append(&two_sort, &inputs);
+        // 2-sort outputs: max first, then min. Ascending order puts the
+        // minimum on the lower channel.
+        channels[comp.hi()] = outs[..width].to_vec();
+        channels[comp.lo()] = outs[width..].to_vec();
+    }
+    for (c, nodes) in channels.iter().enumerate() {
+        for (b, &node) in nodes.iter().enumerate() {
+            net.set_output(format!("out{c}_b{b}"), node);
+        }
+    }
+    net
+}
+
+/// Runs an MC sorting circuit on a vector of valid strings, returning the
+/// output channels as raw ternary strings (channel 0 first).
+///
+/// # Panics
+///
+/// Panics if the channel count or width disagrees with the circuit.
+pub fn simulate_sorting_circuit(
+    netlist: &Netlist,
+    inputs: &[ValidString],
+) -> Vec<TritVec> {
+    assert!(!inputs.is_empty());
+    let width = inputs[0].width();
+    assert_eq!(
+        netlist.input_count(),
+        inputs.len() * width,
+        "channel/width mismatch"
+    );
+    let mut flat: Vec<Trit> = Vec::with_capacity(inputs.len() * width);
+    for v in inputs {
+        assert_eq!(v.width(), width, "inconsistent widths");
+        flat.extend(v.bits().iter());
+    }
+    let out = netlist.eval(&flat);
+    out.chunks(width).map(|c| c.iter().copied().collect()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimal::best_size;
+    use crate::reference::sort_valid_reference;
+
+    #[test]
+    fn table_8_gate_counts_at_b2() {
+        // gates = #comparators × 13 at B = 2.
+        use crate::optimal::{ten_sort_depth, ten_sort_size};
+        let four = best_size(4).unwrap();
+        let seven = best_size(7).unwrap();
+        assert_eq!(
+            build_sorting_circuit(&four, 2, TwoSortFlavor::Paper).gate_count(),
+            65
+        );
+        assert_eq!(
+            build_sorting_circuit(&seven, 2, TwoSortFlavor::Paper).gate_count(),
+            208
+        );
+        assert_eq!(
+            build_sorting_circuit(&ten_sort_size(), 2, TwoSortFlavor::Paper)
+                .gate_count(),
+            377
+        );
+        assert_eq!(
+            build_sorting_circuit(&ten_sort_depth(), 2, TwoSortFlavor::Paper)
+                .gate_count(),
+            403
+        );
+    }
+
+    #[test]
+    fn sorts_valid_strings_4_channels_exhaustive_patterns() {
+        use mcs_gray::ValidString;
+        let net = best_size(4).unwrap();
+        let circuit = build_sorting_circuit(&net, 3, TwoSortFlavor::Paper);
+        // All 4-tuples over a spread of width-3 valid strings (15 total).
+        let all: Vec<ValidString> = ValidString::enumerate(3).collect();
+        for a in (0..all.len()).step_by(3) {
+            for b in (0..all.len()).step_by(4) {
+                for c in (0..all.len()).step_by(5) {
+                    for d in (0..all.len()).step_by(2) {
+                        let input = vec![
+                            all[a].clone(),
+                            all[b].clone(),
+                            all[c].clone(),
+                            all[d].clone(),
+                        ];
+                        let got = simulate_sorting_circuit(&circuit, &input);
+                        let want = sort_valid_reference(&net, &input);
+                        assert_eq!(got, want, "inputs {input:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn output_is_sorted_and_a_permutation() {
+        use mcs_gray::ValidString;
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let net = best_size(7).unwrap();
+        let width = 4usize;
+        let circuit = build_sorting_circuit(&net, width, TwoSortFlavor::Paper);
+        let mut rng = StdRng::seed_from_u64(99);
+        let max_rank = (1u64 << (width + 1)) - 2;
+        for _ in 0..60 {
+            let input: Vec<ValidString> = (0..7)
+                .map(|_| {
+                    ValidString::from_rank(width, rng.gen_range(0..=max_rank))
+                        .unwrap()
+                })
+                .collect();
+            let got = simulate_sorting_circuit(&circuit, &input);
+            // Every output is a valid string; ranks ascend; multiset equals
+            // the input multiset.
+            let mut out_ranks = Vec::new();
+            for bits in &got {
+                let v = ValidString::new(bits.clone()).expect("valid output");
+                out_ranks.push(v.rank());
+            }
+            assert!(out_ranks.windows(2).all(|w| w[0] <= w[1]), "{out_ranks:?}");
+            let mut in_ranks: Vec<u64> = input.iter().map(|v| v.rank()).collect();
+            in_ranks.sort_unstable();
+            assert_eq!(in_ranks, out_ranks);
+        }
+    }
+
+    #[test]
+    fn bincomp_flavor_sorts_binary_inputs() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let net = best_size(4).unwrap();
+        let width = 5usize;
+        let circuit = build_sorting_circuit(&net, width, TwoSortFlavor::BinComp);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let vals: Vec<u64> = (0..4).map(|_| rng.gen_range(0..32)).collect();
+            let mut flat = Vec::new();
+            for &v in &vals {
+                flat.extend(TritVec::from_uint(v, width).into_inner());
+            }
+            let out = circuit.eval(&flat);
+            let decoded: Vec<u64> = out
+                .chunks(width)
+                .map(|c| {
+                    c.iter()
+                        .copied()
+                        .collect::<TritVec>()
+                        .to_uint()
+                        .expect("stable")
+                })
+                .collect();
+            let mut want = vals.clone();
+            want.sort_unstable();
+            assert_eq!(decoded, want);
+        }
+    }
+
+    #[test]
+    fn all_flavors_share_port_convention() {
+        let net = best_size(4).unwrap();
+        for flavor in [
+            TwoSortFlavor::Paper,
+            TwoSortFlavor::Bund2017,
+            TwoSortFlavor::Serial2016,
+            TwoSortFlavor::BinComp,
+        ] {
+            let c = build_sorting_circuit(&net, 3, flavor);
+            assert_eq!(c.input_count(), 12, "{}", flavor.name());
+            assert_eq!(c.output_count(), 12, "{}", flavor.name());
+            assert_eq!(
+                c.gate_count(),
+                5 * flavor.build(3).gate_count(),
+                "{}",
+                flavor.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Comparator networks: representation, layering, depth.
+
+use std::fmt;
+
+/// One compare-exchange element on channels `lo < hi`: after the
+/// comparator, channel `lo` carries the minimum and channel `hi` the
+/// maximum (standard form).
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug)]
+pub struct Comparator {
+    lo: u16,
+    hi: u16,
+}
+
+impl Comparator {
+    /// Creates a standard-form comparator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn new(lo: usize, hi: usize) -> Comparator {
+        assert!(lo < hi, "comparator must be standard form (lo < hi)");
+        Comparator {
+            lo: u16::try_from(lo).expect("channel fits u16"),
+            hi: u16::try_from(hi).expect("channel fits u16"),
+        }
+    }
+
+    /// Channel receiving the minimum.
+    pub fn lo(self) -> usize {
+        self.lo as usize
+    }
+
+    /// Channel receiving the maximum.
+    pub fn hi(self) -> usize {
+        self.hi as usize
+    }
+
+    /// `true` if the two comparators share a channel.
+    pub fn overlaps(self, other: Comparator) -> bool {
+        self.lo == other.lo
+            || self.lo == other.hi
+            || self.hi == other.lo
+            || self.hi == other.hi
+    }
+}
+
+impl fmt::Display for Comparator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.lo, self.hi)
+    }
+}
+
+/// A comparator network on `channels` channels.
+///
+/// Comparators are stored in execution order; [`Network::layers`] groups
+/// them greedily (ASAP) into parallel layers, whose count is the network's
+/// [`depth`](Network::depth).
+///
+/// # Example
+///
+/// ```
+/// use mcs_networks::Network;
+///
+/// let net = Network::from_pairs(4, [(0, 1), (2, 3), (0, 2), (1, 3), (1, 2)]);
+/// assert_eq!(net.size(), 5);
+/// assert_eq!(net.depth(), 3);
+/// ```
+#[derive(Clone, Eq, PartialEq, Hash, Debug)]
+pub struct Network {
+    channels: usize,
+    comparators: Vec<Comparator>,
+}
+
+impl Network {
+    /// Creates an empty network on `channels` channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero.
+    pub fn new(channels: usize) -> Network {
+        assert!(channels > 0, "network needs at least one channel");
+        Network {
+            channels,
+            comparators: Vec::new(),
+        }
+    }
+
+    /// Builds a network from `(lo, hi)` channel pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pair is not standard form or out of range.
+    pub fn from_pairs(
+        channels: usize,
+        pairs: impl IntoIterator<Item = (usize, usize)>,
+    ) -> Network {
+        let mut net = Network::new(channels);
+        for (lo, hi) in pairs {
+            net.push(lo, hi);
+        }
+        net
+    }
+
+    /// Appends a comparator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channels are out of range or not `lo < hi`.
+    pub fn push(&mut self, lo: usize, hi: usize) {
+        assert!(hi < self.channels, "channel {hi} out of range");
+        self.comparators.push(Comparator::new(lo, hi));
+    }
+
+    /// Number of channels `n`.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Number of comparators (the paper's comparator count, e.g. 29 for
+    /// `10-sort#`).
+    pub fn size(&self) -> usize {
+        self.comparators.len()
+    }
+
+    /// The comparators in execution order.
+    pub fn comparators(&self) -> &[Comparator] {
+        &self.comparators
+    }
+
+    /// Greedy ASAP layering: each comparator is placed in the earliest
+    /// layer after the last layer touching one of its channels.
+    pub fn layers(&self) -> Vec<Vec<Comparator>> {
+        let mut ready: Vec<usize> = vec![0; self.channels]; // earliest free layer per channel
+        let mut layers: Vec<Vec<Comparator>> = Vec::new();
+        for &c in &self.comparators {
+            let layer = ready[c.lo()].max(ready[c.hi()]);
+            if layer == layers.len() {
+                layers.push(Vec::new());
+            }
+            layers[layer].push(c);
+            ready[c.lo()] = layer + 1;
+            ready[c.hi()] = layer + 1;
+        }
+        layers
+    }
+
+    /// Depth: the number of ASAP layers.
+    pub fn depth(&self) -> usize {
+        self.layers().len()
+    }
+
+    /// Applies the network to a slice under any ordering: standard
+    /// compare-exchange semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the channel count.
+    pub fn apply<T: Clone, F: Fn(&T, &T) -> bool>(&self, values: &mut [T], le: F) {
+        assert_eq!(values.len(), self.channels, "value count mismatch");
+        for &c in &self.comparators {
+            if !le(&values[c.lo()], &values[c.hi()]) {
+                values.swap(c.lo(), c.hi());
+            }
+        }
+    }
+
+    /// Applies the network to a 0-1 input given as a bitmask (bit `i` =
+    /// channel `i`), returning the output mask. The workhorse of
+    /// 0-1-principle verification: min = AND, max = OR.
+    pub fn apply_mask(&self, mask: u64) -> u64 {
+        let mut m = mask;
+        for &c in &self.comparators {
+            let a = (m >> c.lo()) & 1;
+            let b = (m >> c.hi()) & 1;
+            let min = a & b;
+            let max = a | b;
+            m = (m & !(1 << c.lo()) & !(1 << c.hi()))
+                | (min << c.lo())
+                | (max << c.hi());
+        }
+        m
+    }
+}
+
+impl fmt::Display for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}-channel network, {} comparators, depth {}",
+            self.channels,
+            self.size(),
+            self.depth()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn four_sorter() -> Network {
+        Network::from_pairs(4, [(0, 1), (2, 3), (0, 2), (1, 3), (1, 2)])
+    }
+
+    #[test]
+    fn layering_is_greedy_asap() {
+        let net = four_sorter();
+        let layers = net.layers();
+        assert_eq!(layers.len(), 3);
+        assert_eq!(layers[0].len(), 2);
+        assert_eq!(layers[1].len(), 2);
+        assert_eq!(layers[2].len(), 1);
+    }
+
+    #[test]
+    fn apply_sorts_integers() {
+        let net = four_sorter();
+        let mut v = vec![3, 1, 2, 0];
+        net.apply(&mut v, |a, b| a <= b);
+        assert_eq!(v, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn apply_mask_matches_apply() {
+        let net = four_sorter();
+        for mask in 0..16u64 {
+            let mut v: Vec<u64> = (0..4).map(|i| (mask >> i) & 1).collect();
+            net.apply(&mut v, |a, b| a <= b);
+            let want: u64 = v.iter().enumerate().map(|(i, &b)| b << i).sum();
+            assert_eq!(net.apply_mask(mask), want, "mask {mask:04b}");
+        }
+    }
+
+    #[test]
+    fn comparator_validation() {
+        assert!(std::panic::catch_unwind(|| Comparator::new(2, 2)).is_err());
+        let c = Comparator::new(1, 3);
+        assert_eq!((c.lo(), c.hi()), (1, 3));
+        assert!(c.overlaps(Comparator::new(3, 5)));
+        assert!(!c.overlaps(Comparator::new(0, 2)));
+        assert_eq!(c.to_string(), "(1,3)");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn push_checks_range() {
+        let mut net = Network::new(3);
+        net.push(0, 3);
+    }
+
+    #[test]
+    fn display_summarises() {
+        assert_eq!(
+            four_sorter().to_string(),
+            "4-channel network, 5 comparators, depth 3"
+        );
+    }
+
+    #[test]
+    fn stable_under_relayering() {
+        // Layer flattening preserves the comparator sequence semantics.
+        let net = four_sorter();
+        let flat: Vec<Comparator> =
+            net.layers().into_iter().flatten().collect();
+        let relayered = Network {
+            channels: 4,
+            comparators: flat,
+        };
+        for mask in 0..16u64 {
+            assert_eq!(net.apply_mask(mask), relayered.apply_mask(mask));
+        }
+    }
+}

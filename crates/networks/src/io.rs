@@ -1,0 +1,171 @@
+//! Text serialisation of comparator networks, in the de-facto standard
+//! notation used by sorting-network tools and papers:
+//!
+//! ```text
+//! [(0,1),(2,3)],[(0,2),(1,3)],[(1,2)]
+//! ```
+//!
+//! Layers are bracketed groups of `(lo,hi)` pairs; whitespace is ignored.
+//! A flat list without layer brackets is also accepted (each comparator
+//! then forms its own sequential step; greedy relayering recovers the
+//! parallel structure).
+
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+use crate::comparator::Network;
+
+/// Formats a network in layered notation (greedy ASAP layers).
+///
+/// ```
+/// use mcs_networks::io::to_layer_string;
+/// use mcs_networks::Network;
+///
+/// let net = Network::from_pairs(4, [(0, 1), (2, 3), (0, 2), (1, 3), (1, 2)]);
+/// assert_eq!(
+///     to_layer_string(&net),
+///     "[(0,1),(2,3)],[(0,2),(1,3)],[(1,2)]"
+/// );
+/// ```
+pub fn to_layer_string(network: &Network) -> String {
+    let mut out = String::new();
+    for (k, layer) in network.layers().iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for (j, c) in layer.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("({},{})", c.lo(), c.hi()));
+        }
+        out.push(']');
+    }
+    out
+}
+
+/// Parses layered or flat comparator-list notation. The channel count is
+/// inferred as one past the highest channel mentioned, unless `channels`
+/// overrides it.
+///
+/// # Errors
+///
+/// Returns [`ParseNetworkError`] on malformed input, non-standard pairs
+/// (`lo ≥ hi`) or out-of-range channels.
+pub fn parse_network(
+    text: &str,
+    channels: Option<usize>,
+) -> Result<Network, ParseNetworkError> {
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    let cleaned: String = text
+        .chars()
+        .filter(|c| !c.is_whitespace() && *c != '[' && *c != ']' && *c != ';')
+        .collect();
+    // Adjacent pairs may touch after bracket removal: "(0,1)(1,2)".
+    let cleaned = cleaned.replace(")(", "),(");
+    for chunk in cleaned.split("),(") {
+        let chunk = chunk.trim_matches(|c| c == '(' || c == ')' || c == ',');
+        if chunk.is_empty() {
+            continue;
+        }
+        let (a, b) = chunk.split_once(',').ok_or_else(|| ParseNetworkError {
+            detail: format!("expected `lo,hi` in {chunk:?}"),
+        })?;
+        let lo: usize = a.parse().map_err(|_| ParseNetworkError {
+            detail: format!("bad channel number {a:?}"),
+        })?;
+        let hi: usize = b.parse().map_err(|_| ParseNetworkError {
+            detail: format!("bad channel number {b:?}"),
+        })?;
+        if lo >= hi {
+            return Err(ParseNetworkError {
+                detail: format!("non-standard comparator ({lo},{hi})"),
+            });
+        }
+        pairs.push((lo, hi));
+    }
+    let needed = pairs.iter().map(|&(_, h)| h + 1).max().unwrap_or(1);
+    let n = channels.unwrap_or(needed);
+    if n < needed {
+        return Err(ParseNetworkError {
+            detail: format!("channel count {n} too small, need {needed}"),
+        });
+    }
+    Ok(Network::from_pairs(n, pairs))
+}
+
+/// Error from [`parse_network`].
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub struct ParseNetworkError {
+    detail: String,
+}
+
+impl fmt::Display for ParseNetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid network notation: {}", self.detail)
+    }
+}
+
+impl Error for ParseNetworkError {}
+
+impl FromStr for Network {
+    type Err = ParseNetworkError;
+
+    fn from_str(s: &str) -> Result<Network, ParseNetworkError> {
+        parse_network(s, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimal::{best_depth, best_size};
+    use crate::verify::zero_one_verify;
+
+    #[test]
+    fn roundtrip_all_optimal_networks() {
+        for n in 2..=10usize {
+            for net in [best_size(n).unwrap(), best_depth(n).unwrap()] {
+                let text = to_layer_string(&net);
+                let back = parse_network(&text, Some(n)).unwrap();
+                // Layer order may differ from insertion order, but the
+                // function is identical on every 0-1 input.
+                assert!(zero_one_verify(&back).is_ok(), "n={n} {text}");
+                assert_eq!(back.size(), net.size());
+                assert_eq!(back.depth(), net.depth());
+                for mask in 0..(1u64 << n) {
+                    assert_eq!(back.apply_mask(mask), net.apply_mask(mask));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parses_flat_and_spaced_notation() {
+        let a: Network = "(0,1), (2,3) , (0,2),(1,3),(1,2)".parse().unwrap();
+        assert_eq!(a.size(), 5);
+        assert_eq!(a.depth(), 3);
+        let b = parse_network("[(0,1)];[(1,2)]", None).unwrap();
+        assert_eq!(b.channels(), 3);
+        assert_eq!(b.size(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!("(1,0)".parse::<Network>().is_err()); // non-standard
+        assert!("(a,b)".parse::<Network>().is_err());
+        assert!("(1)".parse::<Network>().is_err());
+        assert!(parse_network("(0,5)", Some(3)).is_err()); // too few channels
+        let e = "(2,2)".parse::<Network>().unwrap_err();
+        assert!(e.to_string().contains("non-standard"));
+    }
+
+    #[test]
+    fn empty_input_gives_trivial_network() {
+        let net = parse_network("", Some(4)).unwrap();
+        assert_eq!(net.size(), 0);
+        assert_eq!(net.channels(), 4);
+    }
+}

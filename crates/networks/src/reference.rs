@@ -1,0 +1,91 @@
+//! Software reference semantics for metastability-containing sorting
+//! networks: apply the comparator network to valid strings with the
+//! specification-level `max^rg_M`/`min^rg_M` of `mcs-gray`.
+//!
+//! The gate-level circuits of [`crate::circuit`] are tested against this
+//! model — if a netlist and this function ever disagree, the netlist is
+//! wrong (the spec operators are themselves cross-verified against the
+//! closure definition in `mcs-gray`).
+
+use mcs_gray::order::max_min_spec;
+use mcs_gray::ValidString;
+use mcs_logic::TritVec;
+
+use crate::comparator::Network;
+
+/// Applies the network to valid strings using the specification operators;
+/// returns the output channels as raw ternary strings (channel 0 first).
+///
+/// # Panics
+///
+/// Panics if the input count differs from the network's channel count or
+/// the widths are inconsistent.
+pub fn sort_valid_reference(network: &Network, inputs: &[ValidString]) -> Vec<TritVec> {
+    assert_eq!(
+        inputs.len(),
+        network.channels(),
+        "input count must match channel count"
+    );
+    let mut chans: Vec<ValidString> = inputs.to_vec();
+    for comp in network.comparators() {
+        let (mx, mn) = max_min_spec(&chans[comp.lo()], &chans[comp.hi()]);
+        chans[comp.lo()] = mn;
+        chans[comp.hi()] = mx;
+    }
+    chans.into_iter().map(|v| v.into_bits()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimal::best_size;
+
+    #[test]
+    fn sorts_by_rank() {
+        let net = best_size(4).unwrap();
+        let inputs: Vec<ValidString> = ["0110", "0M10", "0010", "1000"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let out = sort_valid_reference(&net, &inputs);
+        let ranks: Vec<u64> = out
+            .iter()
+            .map(|b| ValidString::new(b.clone()).unwrap().rank())
+            .collect();
+        assert!(ranks.windows(2).all(|w| w[0] <= w[1]));
+        // 1000 encodes 15, the maximum, so it lands on the last channel.
+        assert_eq!(out[3].to_string(), "1000");
+    }
+
+    #[test]
+    fn network_sorting_is_stable_under_metastable_ties() {
+        // Two copies of the same metastable string must pass through
+        // unchanged (max and min of x and x is x).
+        let net = best_size(2).unwrap();
+        let v: ValidString = "0M10".parse().unwrap();
+        let out = sort_valid_reference(&net, &[v.clone(), v.clone()]);
+        assert_eq!(out[0].to_string(), "0M10");
+        assert_eq!(out[1].to_string(), "0M10");
+    }
+
+    #[test]
+    fn exhaustive_two_channel_matches_spec() {
+        let net = best_size(2).unwrap();
+        for g in ValidString::enumerate(3) {
+            for h in ValidString::enumerate(3) {
+                let out = sort_valid_reference(&net, &[g.clone(), h.clone()]);
+                let (mx, mn) = max_min_spec(&g, &h);
+                assert_eq!(out[0], *mn.bits());
+                assert_eq!(out[1], *mx.bits());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must match channel count")]
+    fn input_count_is_checked() {
+        let net = best_size(3).unwrap();
+        let v: ValidString = "01".parse().unwrap();
+        let _ = sort_valid_reference(&net, &[v]);
+    }
+}

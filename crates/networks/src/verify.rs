@@ -1,0 +1,145 @@
+//! Sorting-network verification via the 0-1 principle.
+//!
+//! A comparator network sorts **all** inputs if and only if it sorts every
+//! 0-1 input (Knuth, Theorem 5.3.4Z). With `n` channels that is `2^n`
+//! bitmask evaluations — trivial for the sizes of interest here.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::comparator::Network;
+
+/// A 0-1 input that the network fails to sort.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub struct SortFailure {
+    /// The failing input mask (bit `i` = channel `i`).
+    pub input_mask: u64,
+    /// The unsorted output mask.
+    pub output_mask: u64,
+    /// Channel count, for display.
+    pub channels: usize,
+}
+
+impl fmt::Display for SortFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let bits = |m: u64| -> String {
+            (0..self.channels)
+                .map(|i| if (m >> i) & 1 == 1 { '1' } else { '0' })
+                .collect()
+        };
+        write!(
+            f,
+            "input {} sorts to {} (not ascending)",
+            bits(self.input_mask),
+            bits(self.output_mask)
+        )
+    }
+}
+
+impl Error for SortFailure {}
+
+/// Returns `true` if the mask's bits are ascending over the first
+/// `channels` bit positions (all zeros before all ones).
+pub fn mask_is_sorted(mask: u64, channels: usize) -> bool {
+    // Ascending ⇔ the set bits occupy the top of the channel range ⇔
+    // mask + lowest_gap is a power-of-two-aligned run; simplest: check no
+    // 1 appears before a 0.
+    let mut seen_one = false;
+    for i in 0..channels {
+        let bit = (mask >> i) & 1 == 1;
+        if bit {
+            seen_one = true;
+        } else if seen_one {
+            return false;
+        }
+    }
+    true
+}
+
+/// Verifies the network sorts every 0-1 input.
+///
+/// # Errors
+///
+/// Returns the first failing input.
+///
+/// # Panics
+///
+/// Panics if the network has more than 24 channels (2^n inputs).
+pub fn zero_one_verify(network: &Network) -> Result<(), SortFailure> {
+    let n = network.channels();
+    assert!(n <= 24, "0-1 verification limited to 24 channels");
+    for mask in 0..(1u64 << n) {
+        let out = network.apply_mask(mask);
+        if !mask_is_sorted(out, n) {
+            return Err(SortFailure {
+                input_mask: mask,
+                output_mask: out,
+                channels: n,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Counts how many of the `2^n` 0-1 inputs the network fails to sort —
+/// the fitness function of the local search.
+///
+/// # Panics
+///
+/// Panics if the network has more than 24 channels.
+pub fn zero_one_failures(network: &Network) -> u64 {
+    let n = network.channels();
+    assert!(n <= 24, "0-1 counting limited to 24 channels");
+    (0..(1u64 << n))
+        .filter(|&mask| !mask_is_sorted(network.apply_mask(mask), n))
+        .count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_sortedness() {
+        assert!(mask_is_sorted(0b0000, 4));
+        assert!(mask_is_sorted(0b1111, 4));
+        assert!(mask_is_sorted(0b1100, 4)); // bits 2,3 set: 0011 ascending
+        assert!(!mask_is_sorted(0b0101, 4));
+        assert!(!mask_is_sorted(0b0001, 4)); // 1000 descending
+        assert!(mask_is_sorted(0b1000, 4));
+    }
+
+    #[test]
+    fn four_sorter_verifies() {
+        let net = Network::from_pairs(4, [(0, 1), (2, 3), (0, 2), (1, 3), (1, 2)]);
+        assert!(zero_one_verify(&net).is_ok());
+        assert_eq!(zero_one_failures(&net), 0);
+    }
+
+    #[test]
+    fn broken_network_is_caught_with_counterexample() {
+        // Missing the final (1,2) comparator.
+        let net = Network::from_pairs(4, [(0, 1), (2, 3), (0, 2), (1, 3)]);
+        let failure = zero_one_verify(&net).unwrap_err();
+        // Re-apply: the counterexample really is unsorted.
+        let out = net.apply_mask(failure.input_mask);
+        assert_eq!(out, failure.output_mask);
+        assert!(!mask_is_sorted(out, 4));
+        assert!(failure.to_string().contains("not ascending"));
+        assert!(zero_one_failures(&net) > 0);
+    }
+
+    #[test]
+    fn zero_one_principle_transfers_to_integers() {
+        // The point of the 0-1 principle: a 0-1-verified network sorts
+        // arbitrary values. Spot-check with random integer vectors.
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let net = Network::from_pairs(4, [(0, 1), (2, 3), (0, 2), (1, 3), (1, 2)]);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..200 {
+            let mut v: Vec<u32> = (0..4).map(|_| rng.gen_range(0..100)).collect();
+            net.apply(&mut v, |a, b| a <= b);
+            assert!(v.windows(2).all(|w| w[0] <= w[1]), "{v:?}");
+        }
+    }
+}

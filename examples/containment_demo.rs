@@ -1,0 +1,98 @@
+//! What "metastability-containing" buys you: a side-by-side gate-level
+//! torture test of the paper's 2-sort against the conventional binary
+//! comparator, plus the paper's footnote-2 warning that containment is a
+//! *structural* property — boolean equivalence is not enough.
+//!
+//! Run: `cargo run --release --example containment_demo`
+
+use mcs::prelude::*;
+use mcs::logic::Trit;
+use mcs_baselines::bincomp::{build_bincomp, simulate_bincomp_ternary};
+use mcs_netlist::mc::{assert_mc_cells_only, verify_closure_exhaustive};
+use mcs_netlist::Netlist;
+
+fn main() {
+    let width = 8usize;
+    let mc = build_two_sort(width, PrefixTopology::LadnerFischer);
+    let bin = build_bincomp(width);
+
+    println!("== torture test: every possible single-bit metastability ==\n");
+    let mut mc_extra = 0usize;
+    let mut bin_extra = 0usize;
+    let mut cases = 0usize;
+    for x in (0..255u64).step_by(17) {
+        let g = ValidString::between(width, x).expect("in range");
+        for y in (0..=255u64).step_by(13) {
+            let h = ValidString::stable(width, y).expect("in range");
+            cases += 1;
+            // MC circuit: outputs must be exactly the spec (one M total).
+            let (mx, mn) = simulate_two_sort(&mc, &g, &h);
+            let (wmx, wmn) = max_min_spec(&g, &h);
+            assert_eq!(mx, *wmx.bits());
+            assert_eq!(mn, *wmn.bits());
+            mc_extra += mx.meta_count() + mn.meta_count();
+            // Binary circuit on the same ternary bits.
+            let (bmx, bmn) = simulate_bincomp_ternary(&bin, g.bits(), h.bits());
+            bin_extra += bmx.meta_count() + bmn.meta_count();
+        }
+    }
+    println!("cases: {cases} (one metastable input bit each)");
+    println!(
+        "MC 2-sort:  {mc_extra} metastable output bits total ({:.2} per case — the input's own M, correctly placed)",
+        mc_extra as f64 / cases as f64
+    );
+    println!(
+        "Bin-comp:   {bin_extra} metastable output bits total ({:.2} per case — metastability amplified)",
+        bin_extra as f64 / cases as f64
+    );
+    assert!(bin_extra > 10 * mc_extra);
+
+    println!("\n== containment is structural (footnote 2) ==\n");
+    // Two boolean-equivalent circuits for the first ⋄̂ output; only the
+    // paper's sum-of-products shape is closure-exact.
+    let mut bad = Netlist::new("product_form");
+    let x1 = bad.input("x1");
+    let x2 = bad.input("x2");
+    let y1 = bad.input("y1");
+    let ny1 = bad.inv(y1);
+    let l = bad.or2(x1, ny1);
+    let r = bad.or2(x2, y1);
+    let f = bad.and2(l, r);
+    bad.set_output("f", f);
+
+    println!("product form (x1 + ȳ1)(x2 + y1): AND/OR/INV only, boolean-correct");
+    match verify_closure_exhaustive(&bad) {
+        Err(e) => println!("  closure check: FAILED — {e}"),
+        Ok(()) => unreachable!("the paper's counterexample must fail"),
+    }
+    let probe = [Trit::Zero, Trit::Zero, Trit::Meta];
+    println!(
+        "  probe s=10, b=M0: output {} (must be 0 — the comparison is already decided)",
+        bad.eval(&probe)[0]
+    );
+
+    println!("\npaper's sum form x1(x2 + y1) + x2·ȳ1:");
+    let mut good = Netlist::new("sum_form");
+    let gx1 = good.input("x1");
+    let gx2 = good.input("x2");
+    let gy1 = good.input("y1");
+    let gny1 = good.inv(gy1);
+    let gl = good.or2(gx2, gy1);
+    let t0 = good.and2(gx1, gl);
+    let t1 = good.and2(gx2, gny1);
+    let gf = good.or2(t0, t1);
+    good.set_output("f", gf);
+    verify_closure_exhaustive(&good).expect("paper's structure is closure-exact");
+    println!("  closure check: passed on all 27 ternary inputs");
+    println!("  probe s=10, b=M0: output {}", good.eval(&probe)[0]);
+
+    println!("\n== cell discipline ==");
+    println!(
+        "MC circuit uses only certified cells: {}",
+        assert_mc_cells_only(&mc).is_ok()
+    );
+    println!(
+        "Bin-comp passes the cell check: {} (XNOR/MUX/AOI are uncertified)",
+        assert_mc_cells_only(&bin).is_ok()
+    );
+}

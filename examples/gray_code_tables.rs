@@ -1,0 +1,84 @@
+//! Reprints the paper's illustrative tables from the implementation:
+//! Table 1 (4-bit binary reflected Gray code), Table 2 (4-bit valid strings
+//! in their total order), Table 3 (gate behaviour on {0,1,M}) and Table 5
+//! (the ⋄ and out operators).
+//!
+//! Run: `cargo run --example gray_code_tables`
+
+use mcs::gray::code::gray_encode;
+use mcs::gray::fsm::{diamond, out};
+use mcs::gray::ValidString;
+use mcs::logic::Trit;
+
+fn main() {
+    println!("Table 1 — 4-bit binary reflected Gray code");
+    println!("{:>3}  {:<6}", "#", "g1,g2-4");
+    for x in 0..16u64 {
+        let g = gray_encode(x, 4).to_string();
+        println!("{x:>3}  {} {}", &g[..1], &g[1..]);
+    }
+
+    println!("\nTable 2 — 4-bit valid strings, ascending (⟨g⟩ shown for stable)");
+    for v in ValidString::enumerate(4) {
+        match v.value() {
+            Some(x) => println!("  {v}   {x}"),
+            None => println!("  {v}   −"),
+        }
+    }
+
+    println!("\nTable 3 — AND / OR / INV on {{0,1,M}}");
+    print!("  AND |");
+    for b in Trit::ALL {
+        print!(" {b}");
+    }
+    println!();
+    for a in Trit::ALL {
+        print!("   {a}  |");
+        for b in Trit::ALL {
+            print!(" {}", a & b);
+        }
+        println!();
+    }
+    print!("  OR  |");
+    for b in Trit::ALL {
+        print!(" {b}");
+    }
+    println!();
+    for a in Trit::ALL {
+        print!("   {a}  |");
+        for b in Trit::ALL {
+            print!(" {}", a | b);
+        }
+        println!();
+    }
+    println!("  INV : 0→1, 1→0, M→M");
+
+    let fmt = |p: (bool, bool)| format!("{}{}", u8::from(p.0), u8::from(p.1));
+    let states = [(false, false), (false, true), (true, true), (true, false)];
+    println!("\nTable 5 — the ⋄ operator (rows: state, cols: input g_i h_i)");
+    print!("   ⋄  |");
+    for b in states {
+        print!("  {}", fmt(b));
+    }
+    println!();
+    for s in states {
+        print!("   {} |", fmt(s));
+        for b in states {
+            print!("  {}", fmt(diamond(s, b)));
+        }
+        println!();
+    }
+    println!("\nTable 5 — the out operator (max_i min_i)");
+    print!("  out |");
+    for b in states {
+        print!("  {}", fmt(b));
+    }
+    println!();
+    for s in states {
+        print!("   {} |", fmt(s));
+        for b in states {
+            print!("  {}", fmt(out(s, b)));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,59 @@
+//! **mcs** — metastability-containing sorting networks.
+//!
+//! A from-scratch Rust reproduction of Bund, Lenzen & Medina,
+//! *Optimal Metastability-Containing Sorting Networks* (DATE 2018,
+//! arXiv:1801.07549): sorting Gray-code measurement values that may carry a
+//! metastable bit, without synchronizers, without resolving the
+//! metastability, in asymptotically optimal depth and gate count.
+//!
+//! This facade re-exports the full stack:
+//!
+//! | layer | crate | contents |
+//! |-------|-------|----------|
+//! | [`logic`] | `mcs-logic` | ternary Kleene values, packed batch words, resolutions, the metastable closure |
+//! | [`gray`] | `mcs-gray` | binary reflected Gray code, valid strings, the comparison FSM (spec level) |
+//! | [`netlist`] | `mcs-netlist` | gate-level netlists, ternary simulation, timing/area models, MC checks, export |
+//! | [`core`] | `mcs-core` | the paper's 2-sort(B): selection circuit, ⋄̂/out blocks, PPC, the full circuit |
+//! | [`baselines`] | `mcs-baselines` | Bin-comp, serial ASYNC'16 shape, Θ(B log B) DATE'17 reconstruction |
+//! | [`networks`] | `mcs-networks` | comparator networks, verification, optimal tables, full sorting circuits |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mcs::prelude::*;
+//!
+//! // Two 8-bit measurements; one was captured mid-transition between
+//! // 99 and 100 — its Gray code carries a metastable bit.
+//! let wobbling = ValidString::between(8, 99)?;
+//! let stable = ValidString::stable(8, 100)?;
+//!
+//! // The paper's circuit, at gate level (169 gates for B = 8) …
+//! let circuit = build_two_sort(8, PrefixTopology::LadnerFischer);
+//! let (max, min) = simulate_two_sort(&circuit, &wobbling, &stable);
+//!
+//! // … sorts them correctly *without* resolving the metastability:
+//! assert_eq!(max, *stable.bits());
+//! assert_eq!(min, *wobbling.bits());
+//! # Ok::<(), mcs::gray::valid::InvalidStringError>(())
+//! ```
+
+pub use mcs_baselines as baselines;
+pub use mcs_core as core;
+pub use mcs_gray as gray;
+pub use mcs_logic as logic;
+pub use mcs_netlist as netlist;
+pub use mcs_networks as networks;
+
+/// The most common items, for `use mcs::prelude::*`.
+pub mod prelude {
+    pub use mcs_core::ppc::PrefixTopology;
+    pub use mcs_core::two_sort::{build_two_sort, simulate_two_sort};
+    pub use mcs_gray::order::{max_min_closure, max_min_spec};
+    pub use mcs_gray::ValidString;
+    pub use mcs_logic::{Trit, TritVec};
+    pub use mcs_netlist::{AreaReport, Netlist, TechLibrary, TimingReport};
+    pub use mcs_networks::circuit::{
+        build_sorting_circuit, simulate_sorting_circuit, TwoSortFlavor,
+    };
+    pub use mcs_networks::Network;
+}

@@ -1,0 +1,191 @@
+//! Cross-crate integration tests: gate-level circuits against the
+//! specification stack, end to end.
+
+use mcs::prelude::*;
+use mcs::gray::fsm::Fsm;
+use mcs::logic::Trit;
+use mcs_networks::optimal::{best_size, ten_sort_size};
+use mcs_networks::reference::sort_valid_reference;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_valid(rng: &mut StdRng, width: usize) -> ValidString {
+    let max_rank = (1u64 << (width + 1)) - 2;
+    ValidString::from_rank(width, rng.gen_range(0..=max_rank)).expect("in range")
+}
+
+#[test]
+fn two_sort_circuit_vs_three_independent_specs() {
+    // Circuit vs (a) the order spec, (b) the closure definition, (c) the
+    // sequential FSM reference — four implementations, one answer.
+    let width = 6usize;
+    let circuit = build_two_sort(width, PrefixTopology::LadnerFischer);
+    let fsm = Fsm::new();
+    let mut rng = StdRng::seed_from_u64(1);
+    for _ in 0..300 {
+        let g = random_valid(&mut rng, width);
+        let h = random_valid(&mut rng, width);
+        let (cmx, cmn) = simulate_two_sort(&circuit, &g, &h);
+        let (smx, smn) = max_min_spec(&g, &h);
+        let (kmx, kmn) = max_min_closure(&g, &h);
+        let (fmx, fmn) = fsm.two_sort(&g, &h);
+        assert_eq!(cmx, *smx.bits());
+        assert_eq!(cmn, *smn.bits());
+        assert_eq!(cmx, kmx);
+        assert_eq!(cmn, kmn);
+        assert_eq!(cmx, fmx);
+        assert_eq!(cmn, fmn);
+    }
+}
+
+#[test]
+fn ten_sort_size_circuit_matches_reference_with_metastability() {
+    let width = 5usize;
+    let network = ten_sort_size();
+    let circuit = build_sorting_circuit(&network, width, TwoSortFlavor::Paper);
+    let mut rng = StdRng::seed_from_u64(2);
+    for round in 0..25 {
+        let inputs: Vec<ValidString> = (0..10)
+            .map(|_| random_valid(&mut rng, width))
+            .collect();
+        let got = simulate_sorting_circuit(&circuit, &inputs);
+        let want = sort_valid_reference(&network, &inputs);
+        assert_eq!(got, want, "round {round}: {inputs:?}");
+        // Ranks ascend and outputs stay valid.
+        let ranks: Vec<u64> = got
+            .iter()
+            .map(|b| ValidString::new(b.clone()).expect("valid").rank())
+            .collect();
+        assert!(ranks.windows(2).all(|w| w[0] <= w[1]), "{ranks:?}");
+    }
+}
+
+#[test]
+fn sorting_preserves_multisets_and_metastability_count() {
+    // Containment bookkeeping: the number of metastable bits never grows.
+    let width = 4usize;
+    let network = best_size(7).expect("covered");
+    let circuit = build_sorting_circuit(&network, width, TwoSortFlavor::Paper);
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..40 {
+        let inputs: Vec<ValidString> =
+            (0..7).map(|_| random_valid(&mut rng, width)).collect();
+        let in_meta: usize = inputs.iter().map(|v| v.bits().meta_count()).sum();
+        let got = simulate_sorting_circuit(&circuit, &inputs);
+        let out_meta: usize = got.iter().map(|b| b.meta_count()).sum();
+        assert!(
+            out_meta <= in_meta,
+            "metastability amplified: {in_meta} -> {out_meta}"
+        );
+        let mut in_ranks: Vec<u64> = inputs.iter().map(|v| v.rank()).collect();
+        in_ranks.sort_unstable();
+        let out_ranks: Vec<u64> = got
+            .iter()
+            .map(|b| ValidString::new(b.clone()).expect("valid").rank())
+            .collect();
+        assert_eq!(in_ranks, out_ranks);
+    }
+}
+
+#[test]
+fn stable_inputs_keep_outputs_fully_stable() {
+    // With no metastability at the inputs there must be none at the
+    // outputs (the circuits are glitch-free in the ternary model).
+    let width = 7usize;
+    let circuit = build_two_sort(width, PrefixTopology::LadnerFischer);
+    let mut rng = StdRng::seed_from_u64(4);
+    for _ in 0..200 {
+        let g = ValidString::stable(width, rng.gen_range(0..128)).expect("fits");
+        let h = ValidString::stable(width, rng.gen_range(0..128)).expect("fits");
+        let (mx, mn) = simulate_two_sort(&circuit, &g, &h);
+        assert!(mx.is_stable() && mn.is_stable());
+        // And the values are the numeric max/min.
+        let vmax = mcs::gray::gray_decode(&mx).expect("stable");
+        let vmin = mcs::gray::gray_decode(&mn).expect("stable");
+        let (x, y) = (g.value().expect("stable"), h.value().expect("stable"));
+        assert_eq!(vmax, x.max(y));
+        assert_eq!(vmin, x.min(y));
+    }
+}
+
+#[test]
+fn two_sort_outputs_are_glitch_free_in_the_time_domain() {
+    // The paper: "our circuits are purely combinational and glitch-free".
+    // Event-driven simulation with transport delays: when one input value
+    // steps to an adjacent Gray code (a single-bit transition — exactly
+    // what a measurement does), every output waveform must be monotone:
+    // at most one transition, no pulses.
+    use mcs::netlist::event_sim::EventSim;
+    let width = 5usize;
+    let circuit = build_two_sort(width, PrefixTopology::LadnerFischer);
+    let lib = TechLibrary::paper_calibrated();
+    let mut rng = StdRng::seed_from_u64(6);
+    for _ in 0..30 {
+        let x = rng.gen_range(0..(1u64 << width) - 1);
+        let y = rng.gen_range(0..(1u64 << width));
+        let g0 = ValidString::stable(width, x).expect("fits");
+        let g1 = ValidString::stable(width, x + 1).expect("fits");
+        let h = ValidString::stable(width, y).expect("fits");
+        let mut init: Vec<mcs::logic::Trit> = Vec::new();
+        init.extend(g0.bits().iter());
+        init.extend(h.bits().iter());
+        // The single differing bit between rg(x) and rg(x+1):
+        let flip = (0..width)
+            .find(|&k| g0.bits()[k] != g1.bits()[k])
+            .expect("adjacent codes differ");
+        let mut sim = EventSim::new(&circuit, &lib, &init);
+        let waves = sim.apply(&[(flip, g1.bits()[flip])]);
+        for (k, w) in waves.iter().enumerate() {
+            assert!(
+                w.transition_count() <= 1,
+                "output {k} glitched for {x}->{} vs {y}: {:?}",
+                x + 1,
+                w.events()
+            );
+        }
+        // And the settled state is the correct sort of (x+1, y).
+        let out = sim.output_values();
+        let (wmx, wmn) = max_min_spec(&g1, &h);
+        let got_max: mcs::logic::TritVec = out[..width].iter().copied().collect();
+        let got_min: mcs::logic::TritVec = out[width..].iter().copied().collect();
+        assert_eq!(got_max, *wmx.bits());
+        assert_eq!(got_min, *wmn.bits());
+    }
+}
+
+#[test]
+fn facade_prelude_covers_the_quickstart_path() {
+    let g: ValidString = "0M10".parse().expect("valid");
+    let h = ValidString::stable(4, 6).expect("fits");
+    let c = build_two_sort(4, PrefixTopology::LadnerFischer);
+    let (mx, mn) = simulate_two_sort(&c, &g, &h);
+    assert_eq!(mx.to_string(), "0101"); // rg(6)
+    assert_eq!(mn.to_string(), "0M10");
+    assert_eq!(mx.iter().filter(|t| t.is_meta()).count(), 0);
+    assert_eq!(mn[1], Trit::Meta);
+}
+
+#[test]
+fn mixed_width_and_flavor_matrix_smoke() {
+    // Every MC flavour × width sorts a fixed adversarial input set.
+    let widths = [2usize, 3, 5];
+    let flavors = [
+        TwoSortFlavor::Paper,
+        TwoSortFlavor::Serial2016,
+        TwoSortFlavor::Bund2017,
+        TwoSortFlavor::PaperWithTopology(PrefixTopology::Sklansky),
+    ];
+    let network = best_size(4).expect("covered");
+    for &width in &widths {
+        let count = ValidString::count(width);
+        let pick = |k: u64| ValidString::from_rank(width, k % count).expect("ok");
+        let inputs: Vec<ValidString> =
+            vec![pick(7), pick(3), pick(count - 1), pick(11)];
+        let want = sort_valid_reference(&network, &inputs);
+        for &flavor in &flavors {
+            let circuit = build_sorting_circuit(&network, width, flavor);
+            let got = simulate_sorting_circuit(&circuit, &inputs);
+            assert_eq!(got, want, "{} width {width}", flavor.name());
+        }
+    }
+}

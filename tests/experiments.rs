@@ -1,0 +1,164 @@
+//! Regression tests pinning the experimental reproduction: the paper's
+//! structural numbers must match exactly, the modelled ones within stated
+//! tolerances. `EXPERIMENTS.md` documents the same data in prose.
+
+use mcs::prelude::*;
+use mcs_baselines::bincomp::build_bincomp;
+use mcs_baselines::bund2017::build_bund2017_two_sort;
+use mcs_netlist::{AreaReport, TechLibrary, TimingReport};
+use mcs_networks::optimal::{best_size, ten_sort_depth, ten_sort_size};
+
+const WIDTHS: [usize; 4] = [2, 4, 8, 16];
+
+/// Published Table 7 (this paper): gates, area, delay.
+const T7_HERE: [(usize, usize, f64, f64); 4] = [
+    (2, 13, 17.486, 119.0),
+    (4, 55, 73.752, 362.0),
+    (8, 169, 227.29, 516.0),
+    (16, 407, 548.016, 805.0),
+];
+
+#[test]
+fn table7_gate_counts_exact() {
+    for (width, gates, _, _) in T7_HERE {
+        let c = build_two_sort(width, PrefixTopology::LadnerFischer);
+        assert_eq!(c.gate_count(), gates, "2-sort({width})");
+    }
+}
+
+#[test]
+fn table7_area_within_one_percent() {
+    let lib = TechLibrary::paper_calibrated();
+    for (width, _, area, _) in T7_HERE {
+        let c = build_two_sort(width, PrefixTopology::LadnerFischer);
+        let got = AreaReport::of(&c, &lib).total_um2();
+        assert!(
+            (got - area).abs() / area < 0.01,
+            "2-sort({width}) area {got:.3} vs paper {area}"
+        );
+    }
+}
+
+#[test]
+fn table7_delay_within_fifteen_percent() {
+    let lib = TechLibrary::paper_calibrated();
+    for (width, _, _, delay) in T7_HERE {
+        let c = build_two_sort(width, PrefixTopology::LadnerFischer);
+        let got = TimingReport::of(&c, &lib).delay_ps();
+        assert!(
+            (got - delay).abs() / delay < 0.15,
+            "2-sort({width}) delay {got:.0} vs paper {delay}"
+        );
+    }
+}
+
+#[test]
+fn table7_orderings_hold_at_every_width() {
+    // Who wins: Bin-comp < this paper < [2]-reconstruction in gates and
+    // area; delays of ours stay in the same band as Bin-comp (the paper's
+    // "roughly match delay" claim).
+    let lib = TechLibrary::paper_calibrated();
+    for width in WIDTHS {
+        let ours = build_two_sort(width, PrefixTopology::LadnerFischer);
+        let bin = build_bincomp(width);
+        let old = build_bund2017_two_sort(width);
+        assert!(bin.gate_count() <= ours.gate_count(), "B={width}");
+        if width > 2 {
+            assert!(ours.gate_count() < old.gate_count(), "B={width}");
+        }
+        let area_ours = AreaReport::of(&ours, &lib).total_um2();
+        let area_old = AreaReport::of(&old, &lib).total_um2();
+        assert!(width == 2 || area_ours < area_old, "B={width}");
+        let d_ours = TimingReport::of(&ours, &lib).delay_ps();
+        let d_bin = TimingReport::of(&bin, &lib).delay_ps();
+        // "performs comparably to the non-containing binary design in
+        // terms of delay": within 2.5× at all widths.
+        assert!(d_ours < 2.5 * d_bin, "B={width}: {d_ours} vs {d_bin}");
+    }
+}
+
+#[test]
+fn figure1_scaling_factors() {
+    // Figure 1's message: the gap to [2] grows with B, reaching ≥ 3× in
+    // gates at B = 16 against the published numbers (our reconstruction
+    // shows the same direction at a smaller constant).
+    let ours16 = build_two_sort(16, PrefixTopology::LadnerFischer).gate_count();
+    assert_eq!(ours16, 407);
+    assert!(1344.0 / ours16 as f64 > 3.3); // published [2]
+    let recon16 = build_bund2017_two_sort(16).gate_count();
+    let recon4 = build_bund2017_two_sort(4).gate_count();
+    let ours4 = build_two_sort(4, PrefixTopology::LadnerFischer).gate_count();
+    let gap4 = recon4 as f64 / ours4 as f64;
+    let gap16 = recon16 as f64 / ours16 as f64;
+    assert!(gap16 > gap4, "gap must widen with B: {gap4:.2} vs {gap16:.2}");
+}
+
+#[test]
+fn table8_gate_counts_exact() {
+    // Every "here" cell of Table 8: #comparators × gates(2-sort(B)).
+    let per: [(usize, usize); 4] = [(2, 13), (4, 55), (8, 169), (16, 407)];
+    let nets = [
+        (best_size(4).expect("covered"), 5usize),
+        (best_size(7).expect("covered"), 16),
+        (ten_sort_size(), 29),
+        (ten_sort_depth(), 31),
+    ];
+    for (network, comparators) in &nets {
+        assert_eq!(network.size(), *comparators);
+        for (width, per_gates) in per {
+            let c = build_sorting_circuit(network, width, TwoSortFlavor::Paper);
+            assert_eq!(
+                c.gate_count(),
+                comparators * per_gates,
+                "n={} B={width}",
+                network.channels()
+            );
+        }
+    }
+}
+
+#[test]
+fn table8_depth_network_is_faster_but_bigger() {
+    // 10-sortd vs 10-sort#: more comparators, shorter critical path — at
+    // every width, as in the paper.
+    let lib = TechLibrary::paper_calibrated();
+    for width in WIDTHS {
+        let size_net =
+            build_sorting_circuit(&ten_sort_size(), width, TwoSortFlavor::Paper);
+        let depth_net =
+            build_sorting_circuit(&ten_sort_depth(), width, TwoSortFlavor::Paper);
+        assert!(depth_net.gate_count() > size_net.gate_count());
+        let d_size = TimingReport::of(&size_net, &lib).delay_ps();
+        let d_depth = TimingReport::of(&depth_net, &lib).delay_ps();
+        assert!(
+            d_depth < d_size,
+            "B={width}: depth-optimal {d_depth:.0} ps vs size-optimal {d_size:.0} ps"
+        );
+    }
+}
+
+#[test]
+fn abstract_improvement_claims() {
+    // "48.46% in delay and 71.58% in area over Bund et al." — published
+    // numbers at B = 16 (delay at the 10-sortd network level, area at the
+    // 2-sort level).
+    let area_gain: f64 = 100.0 * (1.0 - 548.016 / 1928.262);
+    assert!((area_gain - 71.58).abs() < 0.05);
+    let delay_gain: f64 = 100.0 * (1.0 - 3844.0 / 7458.0);
+    assert!((delay_gain - 48.46).abs() < 0.05);
+}
+
+#[test]
+fn asymptotics_gates_linear_depth_logarithmic() {
+    // The headline theory: O(B) gates, O(log B) depth.
+    let g = |w: usize| build_two_sort(w, PrefixTopology::LadnerFischer).gate_count();
+    let d = |w: usize| build_two_sort(w, PrefixTopology::LadnerFischer).depth();
+    // Gates per bit bounded by a constant (≤ 31).
+    for w in [8usize, 16, 32, 63] {
+        assert!(g(w) <= 31 * w, "width {w}: {} gates", g(w));
+        assert!(g(w) >= 20 * w, "width {w}: {} gates", g(w));
+    }
+    // Depth grows by a bounded amount per doubling.
+    assert!(d(32) <= d(16) + 6);
+    assert!(d(63) <= d(32) + 6);
+}

@@ -1,0 +1,169 @@
+//! Property-based tests (proptest) over the whole stack: random valid
+//! strings, random widths, random networks.
+
+use mcs::prelude::*;
+use mcs::gray::code::{gray_decode, gray_encode, parity};
+use mcs::gray::fsm::{diamond_m, Fsm};
+use mcs::logic::{closure_fn, Trit};
+use proptest::prelude::*;
+
+/// Strategy: a width in 1..=16 and a valid-string rank for that width.
+fn valid_string_strategy() -> impl Strategy<Value = ValidString> {
+    (1usize..=16).prop_flat_map(|width| {
+        let max_rank = (1u64 << (width + 1)) - 2;
+        (Just(width), 0..=max_rank)
+            .prop_map(|(w, r)| ValidString::from_rank(w, r).expect("in range"))
+    })
+}
+
+/// Strategy: a pair of valid strings of the same width.
+fn valid_pair_strategy() -> impl Strategy<Value = (ValidString, ValidString)> {
+    (1usize..=12).prop_flat_map(|width| {
+        let max_rank = (1u64 << (width + 1)) - 2;
+        (Just(width), 0..=max_rank, 0..=max_rank).prop_map(|(w, a, b)| {
+            (
+                ValidString::from_rank(w, a).expect("in range"),
+                ValidString::from_rank(w, b).expect("in range"),
+            )
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn gray_roundtrip(width in 1usize..=32, x in 0u64..u64::MAX) {
+        let x = x % (1u64 << width);
+        let g = gray_encode(x, width);
+        prop_assert_eq!(gray_decode(&g), Some(x));
+        prop_assert_eq!(parity(&g), Some(x % 2 == 1));
+    }
+
+    #[test]
+    fn gray_adjacent_codes_differ_in_one_bit(width in 1usize..=32, x in 0u64..u64::MAX) {
+        let x = x % ((1u64 << width) - 1).max(1);
+        if x + 1 < (1u64 << width) {
+            let a = gray_encode(x, width);
+            let b = gray_encode(x + 1, width);
+            let diff = a.iter().zip(b.iter()).filter(|(p, q)| p != q).count();
+            prop_assert_eq!(diff, 1);
+        }
+    }
+
+    #[test]
+    fn valid_string_rank_roundtrip(v in valid_string_strategy()) {
+        let back = ValidString::from_rank(v.width(), v.rank()).expect("rank valid");
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn spec_and_closure_agree(pair in valid_pair_strategy()) {
+        let (g, h) = pair;
+        let (smx, smn) = max_min_spec(&g, &h);
+        let (cmx, cmn) = max_min_closure(&g, &h);
+        prop_assert_eq!(smx.bits(), &cmx);
+        prop_assert_eq!(smn.bits(), &cmn);
+    }
+
+    #[test]
+    fn circuit_matches_spec(pair in valid_pair_strategy()) {
+        let (g, h) = pair;
+        let circuit = build_two_sort(g.width(), PrefixTopology::LadnerFischer);
+        let (mx, mn) = simulate_two_sort(&circuit, &g, &h);
+        let (smx, smn) = max_min_spec(&g, &h);
+        prop_assert_eq!(&mx, smx.bits());
+        prop_assert_eq!(&mn, smn.bits());
+        // Outputs are valid strings again.
+        prop_assert!(ValidString::new(mx).is_ok());
+        prop_assert!(ValidString::new(mn).is_ok());
+    }
+
+    #[test]
+    fn theorem_4_1_on_random_valid_strings(pair in valid_pair_strategy()) {
+        // ⋄_M iterated left-to-right equals the definitional closure at
+        // every prefix, and any random parenthesisation agrees.
+        let (g, h) = pair;
+        let fsm = Fsm::new();
+        let width = g.width();
+        for i in 0..=width {
+            prop_assert_eq!(
+                fsm.prefix_state_iterated(&g, &h, i),
+                fsm.prefix_state_closure(&g, &h, i)
+            );
+        }
+        // Balanced-tree evaluation.
+        fn tree(items: &[(Trit, Trit)]) -> (Trit, Trit) {
+            match items.len() {
+                1 => items[0],
+                n => diamond_m(tree(&items[..n / 2]), tree(&items[n / 2..])),
+            }
+        }
+        let items: Vec<(Trit, Trit)> = (0..width)
+            .map(|k| (g.bits()[k], h.bits()[k]))
+            .collect();
+        prop_assert_eq!(
+            tree(&items),
+            fsm.prefix_state_iterated(&g, &h, width)
+        );
+    }
+
+    #[test]
+    fn closure_monotone_in_information(bits in proptest::collection::vec(0u8..3, 1..8)) {
+        // Replacing a stable input with M can only move outputs toward M
+        // (information monotonicity of the closure), checked on a majority
+        // function.
+        let input: Vec<Trit> = bits.iter().map(|&b| Trit::ALL[b as usize]).collect();
+        let maj = |b: &[bool]| b.iter().filter(|&&x| x).count() * 2 > b.len();
+        let out = closure_fn(&input, maj);
+        for i in 0..input.len() {
+            if input[i].is_stable() {
+                let mut weaker = input.clone();
+                weaker[i] = Trit::Meta;
+                let weaker_out = closure_fn(&weaker, maj);
+                // weaker_out must be out or M.
+                prop_assert!(weaker_out == out || weaker_out == Trit::Meta);
+            }
+        }
+    }
+
+    #[test]
+    fn certified_circuits_are_information_monotone(pair in valid_pair_strategy()) {
+        // Weakening an input (stable → M) can only weaken outputs: for the
+        // MC 2-sort, each output trit either stays or becomes M. This is
+        // the semantic backbone of worst-case metastability analysis.
+        let (g, h) = pair;
+        let circuit = build_two_sort(g.width(), PrefixTopology::LadnerFischer);
+        let mut inputs: Vec<Trit> = Vec::new();
+        inputs.extend(g.bits().iter());
+        inputs.extend(h.bits().iter());
+        let base = circuit.eval(&inputs);
+        for i in 0..inputs.len() {
+            if inputs[i].is_stable() {
+                let mut weaker = inputs.clone();
+                weaker[i] = Trit::Meta;
+                let out = circuit.eval(&weaker);
+                for (b, w) in base.iter().zip(&out) {
+                    prop_assert!(
+                        w == b || w.is_meta(),
+                        "output refined under weaker input: {b} -> {w}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_sort_idempotent_and_commutative(pair in valid_pair_strategy()) {
+        let (g, h) = pair;
+        let circuit = build_two_sort(g.width(), PrefixTopology::LadnerFischer);
+        let (mx1, mn1) = simulate_two_sort(&circuit, &g, &h);
+        let (mx2, mn2) = simulate_two_sort(&circuit, &h, &g);
+        prop_assert_eq!(&mx1, &mx2);
+        prop_assert_eq!(&mn1, &mn2);
+        // Applying the sorted pair again is the identity.
+        let sg = ValidString::new(mx1.clone()).expect("valid");
+        let sh = ValidString::new(mn1.clone()).expect("valid");
+        let (mx3, mn3) = simulate_two_sort(&circuit, &sh, &sg);
+        prop_assert_eq!(mx3, mx1);
+        prop_assert_eq!(mn3, mn1);
+    }
+}
