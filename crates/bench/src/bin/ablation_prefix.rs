@@ -12,6 +12,17 @@
 //!   of Theorem 4.1: Θ(B log B) gates.
 //!
 //! Run: `cargo run --release -p mcs-bench --bin ablation_prefix`
+//!
+//! # Expected output
+//!
+//! (Not a paper table — an ablation beyond it.) A gates/area/delay/depth
+//! table per topology for B up to 32, a shared-inverter variant
+//! comparison, and a Bin-comp ripple-vs-tree pair; a closing reading
+//! guide restates the trade-offs (serial wins gates but its delay grows
+//! linearly in B, Sklansky wins depth but pays fanout-induced delay,
+//! Ladner–Fischer — the paper's pick — stays within a constant of both
+//! optima, and unshared recursion shows the Θ(log B) overhead that
+//! Theorem 4.1's associativity insight removes).
 
 use mcs_baselines::bincomp::{build_bincomp, build_bincomp_tree};
 use mcs_bench::{format_row, measure, print_header};

@@ -3,6 +3,14 @@
 //! presented as the figure's three series (plus improvement factors).
 //!
 //! Run: `cargo run --release -p mcs-bench --bin repro_figure1`
+//!
+//! # Expected output
+//!
+//! Three `B → metric` series (gate count, area, delay), each row listing
+//! measured vs published numbers for both designs plus the improvement in
+//! percent. Measured gate counts must equal the published 13/55/169/407
+//! exactly; the closing headline line reads
+//! `Headline (B = 16): area −71.58%, delay −34.71% vs [2] (published)`.
 
 use mcs_baselines::bund2017::build_bund2017_two_sort;
 use mcs_bench::published::{table7, Design, WIDTHS};

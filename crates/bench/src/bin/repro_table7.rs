@@ -4,6 +4,15 @@
 //! comparator Bin-comp, for B ∈ {2, 4, 8, 16}.
 //!
 //! Run: `cargo run --release -p mcs-bench --bin repro_table7`
+//!
+//! # Expected output
+//!
+//! One table per width B ∈ {2, 4, 8, 16} with six rows (this paper /
+//! \[2\] reconstruction / Bin-comp, measured and published) over columns
+//! `gates, area[µm²], delay[ps], depth`, followed by improvement lines.
+//! Measured gate counts are exactly the paper's 13/55/169/407; at B = 16
+//! the improvement over the published \[2\] is area 71.58%, delay 34.71%,
+//! gates 69.72%. A final checklist restates the key claims verified.
 
 use mcs_baselines::bincomp::build_bincomp;
 use mcs_baselines::bund2017::build_bund2017_two_sort;

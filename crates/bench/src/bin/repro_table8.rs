@@ -9,6 +9,15 @@
 //! settle before high-index ones arrive.
 //!
 //! Run: `cargo run --release -p mcs-bench --bin repro_table8`
+//!
+//! # Expected output
+//!
+//! One block per (network, B) pair — e.g. `4-sort, B = 2` opens with this
+//! paper at 65 gates (5 × 13), matching the paper's first cell, versus 170
+//! published for \[2\] — through `10-sortd, B = 16` at 12 617 gates
+//! (31 × 407). Within every block the MC designs beat the published \[2\]
+//! on all metrics while Bin-comp stays smallest in gates (the price of
+//! containment).
 
 use mcs_bench::published::{table8, Design, NetworkKind, WIDTHS};
 use mcs_bench::{format_row, measure, print_header};

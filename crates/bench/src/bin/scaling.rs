@@ -9,6 +9,16 @@
 //! MC circuits for B ∈ {4, 8, 16}.
 //!
 //! Run: `cargo run --release -p mcs-bench --bin scaling`
+//!
+//! # Expected output
+//!
+//! (Not a paper table — this sweeps the paper's closing claim.) For each
+//! B ∈ {4, 8, 16}: a table of Batcher networks for n up to 32 next to the
+//! best-known optimal networks for small n (e.g. at B = 4, `batcher n=4`
+//! is 275 gates and `optimal n=10` beats `batcher n=10` 1595 to 1760
+//! gates), then a normalised `gates / (comparator·bit)` summary that
+//! settles around 21.1 for B = 8 and 25.4 for B = 16 — constant in n, the
+//! linear-in-B scaling the paper promises.
 
 use mcs_bench::{format_row, measure, print_header};
 use mcs_netlist::TechLibrary;

@@ -1,0 +1,262 @@
+//! Offline stand-in for the crates.io
+//! [`criterion`](https://docs.rs/criterion/0.5) crate.
+//!
+//! Supports the API surface used by this workspace's benches — benchmark
+//! groups, [`BenchmarkId`], [`Throughput`], `bench_function` /
+//! `bench_with_input`, `sample_size`, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — with a simple wall-clock measurement loop
+//! instead of the real crate's statistical machinery: each benchmark is
+//! warmed up briefly, then timed over enough iterations to fill a fixed
+//! measurement window, and the mean time per iteration is printed, with
+//! derived throughput when one was declared.
+//!
+//! `cargo bench` therefore still produces one stable, comparable number per
+//! benchmark, fully offline.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(50);
+const MEASURE: Duration = Duration::from_millis(300);
+
+/// Top-level benchmark driver (stand-in for `criterion::Criterion`).
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` invokes the target with `--bench` plus any user
+        // filter string; everything that is not a flag is a filter.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmarks a closure under `id`, outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(None, &id, None, |b| f(b));
+        self
+    }
+
+    fn run_one<F>(&mut self, group: Option<&str>, id: &str, throughput: Option<&Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = match group {
+            Some(g) => format!("{g}/{id}"),
+            None => id.to_string(),
+        };
+        if let Some(filter) = &self.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher { mean: Duration::ZERO };
+        f(&mut bencher);
+        let mean = bencher.mean;
+        let per_sec = |units: u64| units as f64 / mean.as_secs_f64();
+        match throughput {
+            Some(Throughput::Elements(n)) => println!(
+                "{full:<50} {:>12.3?}/iter  {:>14.0} elem/s",
+                mean,
+                per_sec(*n)
+            ),
+            Some(Throughput::Bytes(n)) => println!(
+                "{full:<50} {:>12.3?}/iter  {:>14.0} B/s",
+                mean,
+                per_sec(*n)
+            ),
+            None => println!("{full:<50} {:>12.3?}/iter", mean),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares how much work one iteration performs, enabling derived
+    /// throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in sizes its measurement
+    /// window by wall-clock time, not sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks a closure under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        let (name, throughput) = (self.name.clone(), self.throughput.clone());
+        self.criterion
+            .run_one(Some(&name), &id.id, throughput.as_ref(), |b| f(b));
+        self
+    }
+
+    /// Benchmarks a closure that receives `input` by reference.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into_benchmark_id();
+        let (name, throughput) = (self.name.clone(), self.throughput.clone());
+        self.criterion
+            .run_one(Some(&name), &id.id, throughput.as_ref(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; matches the real API).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, e.g. `BenchmarkId::new("this-paper", 16)`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// Just the parameter, e.g. `BenchmarkId::from_parameter(16)`.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Conversion into [`BenchmarkId`] accepted by the `bench_*` methods.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl<T: Into<String>> IntoBenchmarkId for T {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self.into() }
+    }
+}
+
+/// Units of work per iteration, for derived throughput.
+#[derive(Clone, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Measures `routine`: brief warm-up, then as many iterations as fit in
+    /// the measurement window; records the mean wall-clock time each.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up, also yielding a first per-iteration estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters: u32 = 0;
+        loop {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() >= WARMUP {
+                break;
+            }
+        }
+        let estimate = warm_start.elapsed() / warm_iters;
+        let iters = (MEASURE.as_nanos() / estimate.as_nanos().max(1))
+            .clamp(1, 1_000_000) as u32;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.mean = start.elapsed() / iters;
+    }
+}
+
+/// Bundles benchmark functions into one runner (stand-in for the real
+/// macro; config expressions are not supported).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_ids_run_a_trivial_bench() {
+        let mut c = Criterion { filter: None };
+        let mut group = c.benchmark_group("demo");
+        group.throughput(Throughput::Elements(4)).sample_size(10);
+        group.bench_function("sum", |b| b.iter(|| (0..4u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("param", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        group.finish();
+        assert_eq!(BenchmarkId::new("a", 2).id, "a/2");
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+    }
+}
