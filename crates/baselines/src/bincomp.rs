@@ -147,6 +147,98 @@ pub fn simulate_bincomp(netlist: &Netlist, x: u64, y: u64) -> (u64, u64) {
     )
 }
 
+/// Exhaustively checks a Bin-comp netlist against plain integer sorting on
+/// **all pairs** of `width`-bit binary values, on the word-parallel block
+/// tier. Returns the number of pairs checked.
+///
+/// Mirrors `mcs_core::two_sort::verify_two_sort_exhaustive`: the whole `y`
+/// axis is packed into [`TritBlock`](mcs_logic::TritBlock) columns once
+/// (lane = value, ascending); for each `x` the expected outputs are a
+/// word-level select
+/// between the `x` splat and the `y` column at the contiguous threshold
+/// `y ≤ x`, so the comparison is word-equality.
+///
+/// # Errors
+///
+/// Returns a description of the first mis-sorted pair, or of an
+/// unsupported width (0 or > 12 — the pair count grows as `4^width`).
+///
+/// # Panics
+///
+/// Panics if the netlist's port count does not match `width`.
+pub fn verify_bincomp_exhaustive(
+    netlist: &Netlist,
+    width: usize,
+) -> Result<u64, String> {
+    use mcs_logic::{TritBlock, TritWord};
+    if width == 0 || width > 12 {
+        return Err(format!(
+            "exhaustive binary verification limited to widths 1..=12 (got {width})"
+        ));
+    }
+    assert_eq!(netlist.input_count(), 2 * width, "port count mismatch");
+    let total = 1usize << width;
+    let words = total.div_ceil(64);
+
+    let mut inputs: Vec<TritBlock> = Vec::with_capacity(2 * width);
+    for _ in 0..width {
+        inputs.push(TritBlock::zeros(total));
+    }
+    for i in 0..width {
+        // Bit i (MSB first, matching TritVec::from_uint) of every y.
+        let col: Vec<Trit> = (0..total as u64)
+            .map(|y| Trit::from((y >> (width - 1 - i)) & 1 == 1))
+            .collect();
+        inputs.push(TritBlock::from_lanes(&col));
+    }
+
+    let mut checked = 0u64;
+    for x in 0..total {
+        for (i, block) in inputs.iter_mut().take(width).enumerate() {
+            block.fill(Trit::from((x >> (width - 1 - i)) & 1 == 1));
+        }
+        let out = netlist.eval_block(&inputs);
+        for w in 0..words {
+            let base = w * 64;
+            let le_mask = if x >= base + 63 {
+                !0u64
+            } else if x < base {
+                0
+            } else {
+                TritWord::lane_mask(x - base + 1)
+            };
+            let mut diff = 0u64;
+            for i in 0..width {
+                let xw = inputs[i].word(w);
+                let yw = inputs[width + i].word(w);
+                let want_max = TritWord::select(le_mask, xw, yw);
+                let want_min = TritWord::select(le_mask, yw, xw);
+                for (got, want) in [
+                    (out[i].word(w), want_max),
+                    (out[width + i].word(w), want_min),
+                ] {
+                    diff |= (got.can_zero_plane() ^ want.can_zero_plane())
+                        | (got.can_one_plane() ^ want.can_one_plane());
+                }
+            }
+            if diff != 0 {
+                // Accumulated over every output bit, so the lowest set bit
+                // is the first mismatching pair in enumeration order.
+                let y = base + diff.trailing_zeros() as usize;
+                let (mx, mn) = simulate_bincomp(netlist, x as u64, y as u64);
+                return Err(format!(
+                    "mismatch for x={x} y={y}: got ({mx}, {mn}), \
+                     want ({}, {})",
+                    x.max(y),
+                    x.min(y)
+                ));
+            }
+        }
+        checked += total as u64;
+    }
+    Ok(checked)
+}
+
 /// Runs a Bin-comp netlist on raw ternary inputs (for containment
 /// experiments), returning the raw `(max, min)` outputs.
 ///
@@ -197,6 +289,7 @@ mod tests {
 
     #[test]
     fn sorts_all_pairs_exhaustively_width_6() {
+        // Scalar reference sweep, kept deliberately small …
         let width = 6usize;
         let c = build_bincomp(width);
         for x in 0..(1u64 << width) {
@@ -205,6 +298,44 @@ mod tests {
                 assert_eq!((mx, mn), (x.max(y), x.min(y)), "({x},{y})");
             }
         }
+        // … and the block-tier verifier must agree with it.
+        assert_eq!(verify_bincomp_exhaustive(&c, width).unwrap(), 64 * 64);
+    }
+
+    #[test]
+    fn block_verifier_covers_width_10_for_both_shapes() {
+        // 4^10 ≈ 1M pairs per circuit — only feasible on the block tier.
+        for c in [build_bincomp(10), build_bincomp_tree(10)] {
+            assert_eq!(
+                verify_bincomp_exhaustive(&c, 10).unwrap(),
+                1u64 << 20,
+                "{}",
+                c.name()
+            );
+        }
+    }
+
+    #[test]
+    fn block_verifier_rejects_broken_comparators_and_bad_widths() {
+        // Drop the carry chain: a bare ripple bit cannot sort width 3.
+        let mut broken = Netlist::new("broken");
+        let g: Vec<_> = (0..3).map(|i| broken.input(format!("g{i}"))).collect();
+        let h: Vec<_> = (0..3).map(|i| broken.input(format!("h{i}"))).collect();
+        let greater = broken.andnot2(g[2], h[2]); // LSB only
+        for i in 0..3 {
+            let mx = broken.mux2(h[i], g[i], greater);
+            broken.set_output(format!("max{i}"), mx);
+        }
+        for i in 0..3 {
+            let mn = broken.mux2(g[i], h[i], greater);
+            broken.set_output(format!("min{i}"), mn);
+        }
+        let err = verify_bincomp_exhaustive(&broken, 3).unwrap_err();
+        assert!(err.contains("mismatch for"), "{err}");
+        // Width caps are errors, not panics.
+        let c = build_bincomp(4);
+        assert!(verify_bincomp_exhaustive(&c, 0).is_err());
+        assert!(verify_bincomp_exhaustive(&c, 13).is_err());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Criterion benches for the gate-level simulator itself: scalar vs
-//! 64-lane batched ternary evaluation, exhaustive 2-sort verification, and
-//! full sorting-network simulation.
+//! 64-lane batched vs multi-word block ternary evaluation, exhaustive
+//! 2-sort verification on the block tier, and full sorting-network
+//! simulation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
@@ -8,7 +9,7 @@ use std::hint::black_box;
 use mcs_core::ppc::PrefixTopology;
 use mcs_core::two_sort::{
     build_two_sort, simulate_two_sort, simulate_two_sort_batch,
-    verify_two_sort_exhaustive,
+    simulate_two_sort_block, verify_two_sort_exhaustive,
 };
 use mcs_gray::ValidString;
 use mcs_networks::circuit::{build_sorting_circuit, simulate_sorting_circuit, TwoSortFlavor};
@@ -39,12 +40,28 @@ fn bench_eval(c: &mut Criterion) {
         b.iter(|| black_box(simulate_two_sort_batch(&circuit, &pairs)))
     });
     group.finish();
+
+    // The multi-word tier: 4096 pairs per call (64 words per input block).
+    let big_pairs: Vec<(ValidString, ValidString)> = (0..4096u64)
+        .map(|i| {
+            (
+                ValidString::from_rank(width, 1000 + 7 * i).expect("in range"),
+                ValidString::from_rank(width, 120_000 - 11 * i).expect("in range"),
+            )
+        })
+        .collect();
+    let mut group = c.benchmark_group("two_sort16_eval");
+    group.throughput(Throughput::Elements(4096));
+    group.bench_function("block_4096_lanes", |b| {
+        b.iter(|| black_box(simulate_two_sort_block(&circuit, &big_pairs)))
+    });
+    group.finish();
 }
 
 fn bench_exhaustive_verification(c: &mut Criterion) {
     let mut group = c.benchmark_group("exhaustive_verify");
     group.sample_size(10);
-    for width in [4usize, 6] {
+    for width in [4usize, 6, 8] {
         let circuit = build_two_sort(width, PrefixTopology::LadnerFischer);
         let pairs = {
             let n = ValidString::count(width);

@@ -1,7 +1,9 @@
 //! The complete `2-sort(B)` circuit of Figure 5, and simulation helpers.
 
+use std::fmt;
+
 use mcs_gray::ValidString;
-use mcs_logic::{TritVec, TritWord};
+use mcs_logic::{Trit, TritBlock, TritVec, TritWord};
 use mcs_netlist::Netlist;
 
 use crate::diamond::{DiamondOp, StatePair};
@@ -175,53 +177,204 @@ pub fn simulate_two_sort_batch(
         .collect()
 }
 
-/// Exhaustively checks a 2-sort netlist against the order specification on
-/// **all pairs** of valid strings of the given width, using batched
-/// simulation. Returns the number of pairs checked.
-///
-/// # Errors
-///
-/// Returns a description of the first mismatch.
+/// Arbitrary-size batched variant of [`simulate_two_sort`]: any number of
+/// input pairs stream through one [`Netlist::eval_block`] call. Returns
+/// `(max, min)` per pair, in order.
 ///
 /// # Panics
 ///
-/// Panics if `width > 10` (the pair count grows as `4^width`).
+/// Panics if the widths are inconsistent or the netlist's port count does
+/// not match.
+pub fn simulate_two_sort_block(
+    netlist: &Netlist,
+    pairs: &[(ValidString, ValidString)],
+) -> Vec<(TritVec, TritVec)> {
+    assert!(!pairs.is_empty(), "at least one pair");
+    let width = pairs[0].0.width();
+    assert_eq!(netlist.input_count(), 2 * width, "port count mismatch");
+    let lanes = pairs.len();
+    for (g, h) in pairs {
+        assert_eq!(g.width(), width, "inconsistent widths");
+        assert_eq!(h.width(), width, "inconsistent widths");
+    }
+    // Column-major packing: one contiguous lane vector per input port.
+    let mut col: Vec<Trit> = Vec::with_capacity(lanes);
+    let mut blocks: Vec<TritBlock> = Vec::with_capacity(2 * width);
+    for i in 0..width {
+        col.clear();
+        col.extend(pairs.iter().map(|(g, _)| g.bits()[i]));
+        blocks.push(TritBlock::from_lanes(&col));
+    }
+    for i in 0..width {
+        col.clear();
+        col.extend(pairs.iter().map(|(_, h)| h.bits()[i]));
+        blocks.push(TritBlock::from_lanes(&col));
+    }
+    let out = netlist.eval_block(&blocks);
+    // Column-major unpacking through the same contiguous form.
+    let cols: Vec<Vec<Trit>> = out.iter().map(TritBlock::to_lanes).collect();
+    (0..lanes)
+        .map(|lane| {
+            let max: TritVec = (0..width).map(|i| cols[i][lane]).collect();
+            let min: TritVec =
+                (0..width).map(|i| cols[width + i][lane]).collect();
+            (max, min)
+        })
+        .collect()
+}
+
+/// Largest width [`verify_two_sort_exhaustive`] accepts: the pair count
+/// grows as `4^width` (≈ 10⁹ pairs at width 14).
+pub const MAX_EXHAUSTIVE_WIDTH: usize = 14;
+
+/// Why [`verify_two_sort_exhaustive`] rejected or failed a circuit.
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub enum TwoSortVerifyError {
+    /// The width is 0 or exceeds [`MAX_EXHAUSTIVE_WIDTH`]; the enumeration
+    /// would be empty or prohibitively large.
+    WidthUnsupported {
+        /// The requested width.
+        width: usize,
+    },
+    /// The first pair of valid strings the circuit mis-sorts.
+    Mismatch {
+        /// First input.
+        g: ValidString,
+        /// Second input.
+        h: ValidString,
+        /// Circuit max output.
+        got_max: TritVec,
+        /// Circuit min output.
+        got_min: TritVec,
+        /// Specified max (`max^rg_M`).
+        want_max: TritVec,
+        /// Specified min (`min^rg_M`).
+        want_min: TritVec,
+    },
+}
+
+impl fmt::Display for TwoSortVerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TwoSortVerifyError::WidthUnsupported { width } => write!(
+                f,
+                "exhaustive verification limited to widths 1..={MAX_EXHAUSTIVE_WIDTH} \
+                 (got {width}; the pair count grows as 4^width)"
+            ),
+            TwoSortVerifyError::Mismatch {
+                g,
+                h,
+                got_max,
+                got_min,
+                want_max,
+                want_min,
+            } => write!(
+                f,
+                "mismatch for g={g} h={h}: got ({got_max}, {got_min}), \
+                 want ({want_max}, {want_min})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TwoSortVerifyError {}
+
+/// Exhaustively checks a 2-sort netlist against the order specification on
+/// **all pairs** of valid strings of the given width, entirely on the
+/// word-parallel block tier. Returns the number of pairs checked.
+///
+/// The whole `h` axis is packed into [`TritBlock`] columns once (lane =
+/// rank, ascending); for each `g` the circuit is evaluated over every `h`
+/// in one [`Netlist::eval_block`] call. Because the lanes are rank-ordered
+/// and the specification is exactly the rank order (`max` is whichever
+/// input has the larger rank — [`mcs_gray::order::max_min_spec`]), the
+/// expected outputs are a word-level select between the `g` splat and the
+/// `h` column at the contiguous lane threshold `rank(h) ≤ rank(g)`, and
+/// the comparison is word-equality — no per-lane work on the happy path.
+///
+/// # Errors
+///
+/// [`TwoSortVerifyError::WidthUnsupported`] if `width` is 0 or exceeds
+/// [`MAX_EXHAUSTIVE_WIDTH`] (formerly a panic); otherwise the first
+/// mismatching pair.
+///
+/// # Panics
+///
+/// Panics if the netlist's port count does not match `width`.
 pub fn verify_two_sort_exhaustive(
     netlist: &Netlist,
     width: usize,
-) -> Result<u64, String> {
-    assert!(width <= 10, "exhaustive verification limited to width 10");
-    let all: Vec<ValidString> = ValidString::enumerate(width).collect();
-    let mut batch: Vec<(ValidString, ValidString)> = Vec::with_capacity(64);
-    let mut checked = 0u64;
-    let flush = |batch: &mut Vec<(ValidString, ValidString)>| -> Result<u64, String> {
-        if batch.is_empty() {
-            return Ok(0);
-        }
-        let results = simulate_two_sort_batch(netlist, batch);
-        for ((g, h), (mx, mn)) in batch.iter().zip(results) {
-            let (wmx, wmn) = mcs_gray::order::max_min_spec(g, h);
-            if mx != *wmx.bits() || mn != *wmn.bits() {
-                return Err(format!(
-                    "mismatch for g={g} h={h}: got ({mx}, {mn}), want ({}, {})",
-                    wmx.bits(),
-                    wmn.bits()
-                ));
-            }
-        }
-        let n = batch.len() as u64;
-        batch.clear();
-        Ok(n)
-    };
-    for g in &all {
-        for h in &all {
-            batch.push((g.clone(), h.clone()));
-            if batch.len() == 64 {
-                checked += flush(&mut batch)?;
-            }
-        }
+) -> Result<u64, TwoSortVerifyError> {
+    if width == 0 || width > MAX_EXHAUSTIVE_WIDTH {
+        return Err(TwoSortVerifyError::WidthUnsupported { width });
     }
-    checked += flush(&mut batch)?;
+    assert_eq!(netlist.input_count(), 2 * width, "port count mismatch");
+    let all: Vec<ValidString> = ValidString::enumerate(width).collect();
+    let lanes = all.len(); // lane index == rank, by enumeration order
+    let words = lanes.div_ceil(64);
+
+    // Input blocks: ports 0..width are the g splats (refilled per g),
+    // ports width..2*width are the h columns (packed once).
+    let mut inputs: Vec<TritBlock> = Vec::with_capacity(2 * width);
+    for _ in 0..width {
+        inputs.push(TritBlock::zeros(lanes));
+    }
+    for i in 0..width {
+        let col: Vec<_> = all.iter().map(|h| h.bits()[i]).collect();
+        inputs.push(TritBlock::from_lanes(&col));
+    }
+
+    let mut checked = 0u64;
+    for g in &all {
+        for i in 0..width {
+            inputs[i].fill(g.bits()[i]);
+        }
+        let out = netlist.eval_block(&inputs);
+        let g_rank = g.rank() as usize;
+        for w in 0..words {
+            // Lanes (ranks) `≤ g_rank` within this word: there, max = g.
+            let base = w * 64;
+            let le_mask = if g_rank >= base + 63 {
+                !0u64
+            } else if g_rank < base {
+                0
+            } else {
+                TritWord::lane_mask(g_rank - base + 1)
+            };
+            let mut diff = 0u64;
+            for i in 0..width {
+                let gw = inputs[i].word(w);
+                let hw = inputs[width + i].word(w);
+                let want_max = TritWord::select(le_mask, gw, hw);
+                let want_min = TritWord::select(le_mask, hw, gw);
+                for (got, want) in [
+                    (out[i].word(w), want_max),
+                    (out[width + i].word(w), want_min),
+                ] {
+                    diff |= (got.can_zero_plane() ^ want.can_zero_plane())
+                        | (got.can_one_plane() ^ want.can_one_plane());
+                }
+            }
+            if diff != 0 {
+                // Accumulated over every output bit of the word, so the
+                // lowest set bit really is the first mismatching pair.
+                let lane = base + diff.trailing_zeros() as usize;
+                let h = &all[lane];
+                let (wmx, wmn) = mcs_gray::order::max_min_spec(g, h);
+                return Err(TwoSortVerifyError::Mismatch {
+                    g: g.clone(),
+                    h: h.clone(),
+                    got_max: (0..width).map(|j| out[j].lane(lane)).collect(),
+                    got_min: (0..width)
+                        .map(|j| out[width + j].lane(lane))
+                        .collect(),
+                    want_max: wmx.bits().clone(),
+                    want_min: wmn.bits().clone(),
+                });
+            }
+        }
+        checked += lanes as u64;
+    }
     Ok(checked)
 }
 
@@ -360,6 +513,107 @@ mod tests {
                 saved,
                 "width {width}"
             );
+        }
+    }
+
+    #[test]
+    fn exhaustive_width_12_runs_on_the_block_tier() {
+        // The lifted cap: all (2^13 − 1)² ≈ 67M pairs at width 12, checked
+        // word-parallel. This is the issue's acceptance bar.
+        let width = 12usize;
+        let c = build_two_sort(width, PrefixTopology::LadnerFischer);
+        let checked = verify_two_sort_exhaustive(&c, width).unwrap();
+        let n = ValidString::count(width);
+        assert_eq!(checked, n * n);
+    }
+
+    #[test]
+    fn width_cap_is_an_error_not_a_panic() {
+        // Width above MAX_EXHAUSTIVE_WIDTH (and width 0) must be reported,
+        // not asserted.
+        let c = build_two_sort(4, PrefixTopology::LadnerFischer);
+        for bad in [0usize, MAX_EXHAUSTIVE_WIDTH + 1, 63] {
+            match verify_two_sort_exhaustive(&c, bad) {
+                Err(TwoSortVerifyError::WidthUnsupported { width }) => {
+                    assert_eq!(width, bad);
+                }
+                other => panic!("expected WidthUnsupported, got {other:?}"),
+            }
+        }
+        let msg = verify_two_sort_exhaustive(&c, MAX_EXHAUSTIVE_WIDTH + 1)
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains(&MAX_EXHAUSTIVE_WIDTH.to_string()), "{msg}");
+    }
+
+    #[test]
+    fn mismatch_error_reports_the_offending_pair() {
+        // A "2-sort" that swaps max and min fails immediately, and the
+        // error carries a genuine counterexample.
+        let mut swapped = Netlist::new("swapped");
+        let g0 = swapped.input("g0");
+        let h0 = swapped.input("h0");
+        let mx = swapped.and2(g0, h0); // wrong: AND is min
+        let mn = swapped.or2(g0, h0);
+        swapped.set_output("max0", mx);
+        swapped.set_output("min0", mn);
+        match verify_two_sort_exhaustive(&swapped, 1) {
+            Err(TwoSortVerifyError::Mismatch { g, h, got_max, want_max, .. }) => {
+                let (wmx, _) = max_min_spec(&g, &h);
+                assert_eq!(&want_max, wmx.bits());
+                assert_ne!(got_max, want_max);
+            }
+            other => panic!("expected Mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn closure_check_block_and_scalar_verdicts_agree_on_two_sort_4() {
+        // The issue's regression: the certified 2-sort(4) must get the
+        // *identical verdict* from the old scalar closure path and the new
+        // block path over all 3^8 ternary inputs — here, closure-exact.
+        use mcs_netlist::mc::{
+            verify_closure_exhaustive, verify_closure_exhaustive_scalar,
+        };
+        let c = build_two_sort(4, PrefixTopology::LadnerFischer);
+        let block = verify_closure_exhaustive(&c);
+        let scalar = verify_closure_exhaustive_scalar(&c);
+        assert_eq!(block, scalar);
+        assert!(block.is_ok(), "2-sort(4) implements the closure: {block:?}");
+        // And on the valid-string domain (where containment is claimed),
+        // the block-batched domain check passes.
+        use mcs_netlist::mc::verify_closure_on;
+        let all: Vec<ValidString> = ValidString::enumerate(4).collect();
+        let domain: Vec<Vec<mcs_logic::Trit>> = all
+            .iter()
+            .flat_map(|g| {
+                all.iter().map(move |h| {
+                    let mut v: Vec<mcs_logic::Trit> =
+                        g.bits().iter().collect();
+                    v.extend(h.bits().iter());
+                    v
+                })
+            })
+            .collect();
+        let refs: Vec<&[mcs_logic::Trit]> =
+            domain.iter().map(|v| v.as_slice()).collect();
+        verify_closure_on(&c, refs).expect("MC on valid-string pairs");
+    }
+
+    #[test]
+    fn block_simulation_agrees_with_word_batch_past_64_pairs() {
+        let c = build_two_sort(5, PrefixTopology::LadnerFischer);
+        let all: Vec<ValidString> = ValidString::enumerate(5).collect();
+        let pairs: Vec<(ValidString, ValidString)> = all
+            .iter()
+            .flat_map(|g| all.iter().map(move |h| (g.clone(), h.clone())))
+            .take(300)
+            .collect();
+        let blocked = simulate_two_sort_block(&c, &pairs);
+        assert_eq!(blocked.len(), 300);
+        for (chunk, chunk_out) in pairs.chunks(64).zip(blocked.chunks(64)) {
+            let batched = simulate_two_sort_batch(&c, chunk);
+            assert_eq!(batched, chunk_out);
         }
     }
 

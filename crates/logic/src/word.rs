@@ -76,7 +76,7 @@ impl TritWord {
     /// Panics if `used_lanes > 64`.
     pub fn splat(t: Trit, used_lanes: usize) -> TritWord {
         assert!(used_lanes <= LANES);
-        let mask = lane_mask(used_lanes);
+        let mask = TritWord::lane_mask(used_lanes);
         let base = match t {
             Trit::Zero => TritWord::ZERO,
             Trit::One => TritWord::ONE,
@@ -178,7 +178,38 @@ impl TritWord {
 
     /// Mask of lanes (within the first `used_lanes`) that are metastable.
     pub fn meta_mask(self, used_lanes: usize) -> u64 {
-        self.can_zero & self.can_one & lane_mask(used_lanes)
+        self.can_zero & self.can_one & TritWord::lane_mask(used_lanes)
+    }
+
+    /// Bit mask covering the first `n` lanes (all ones for `n ≥ 64`).
+    pub const fn lane_mask(n: usize) -> u64 {
+        if n >= 64 {
+            !0
+        } else {
+            (1u64 << n) - 1
+        }
+    }
+
+    /// Forces every lane at index `≥ used_lanes` to stable `0`, keeping the
+    /// word well-encoded. This is how multi-word batches
+    /// ([`TritBlock`](crate::TritBlock)) maintain the "unused lanes are `0`"
+    /// invariant after plane-flipping operations such as NOT.
+    pub fn masked(self, used_lanes: usize) -> TritWord {
+        let mask = TritWord::lane_mask(used_lanes);
+        TritWord {
+            can_zero: (self.can_zero & mask) | !mask,
+            can_one: self.can_one & mask,
+        }
+    }
+
+    /// Lane-wise select: lanes whose bit in `mask` is set take their value
+    /// from `a`, the others from `b`. Both operands must be well-encoded, so
+    /// the result is too.
+    pub fn select(mask: u64, a: TritWord, b: TritWord) -> TritWord {
+        TritWord {
+            can_zero: (a.can_zero & mask) | (b.can_zero & !mask),
+            can_one: (a.can_one & mask) | (b.can_one & !mask),
+        }
     }
 }
 
@@ -234,11 +265,26 @@ impl fmt::Display for TritWord {
     }
 }
 
-fn lane_mask(n: usize) -> u64 {
-    if n >= 64 {
+/// Plane of bit `i` of the 64 consecutive integers `base + l`
+/// (`l = 0..64`), for `base` a multiple of 64: the building block for
+/// packing an integer enumeration axis into bit-planes without touching
+/// individual lanes. Bits 0–5 are fixed periodic patterns; higher bits are
+/// constant across one word.
+pub const fn integer_bit_plane(base: u64, i: usize) -> u64 {
+    const LOW: [u64; 6] = [
+        0xAAAA_AAAA_AAAA_AAAA,
+        0xCCCC_CCCC_CCCC_CCCC,
+        0xF0F0_F0F0_F0F0_F0F0,
+        0xFF00_FF00_FF00_FF00,
+        0xFFFF_0000_FFFF_0000,
+        0xFFFF_FFFF_0000_0000,
+    ];
+    if i < 6 {
+        LOW[i]
+    } else if (base >> i) & 1 == 1 {
         !0
     } else {
-        (1u64 << n) - 1
+        0
     }
 }
 

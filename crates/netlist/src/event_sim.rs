@@ -144,15 +144,21 @@ impl<'a> EventSim<'a> {
                 events: Vec::new(),
             })
             .collect();
-        // (time, node, value) min-queue, plus the latest *scheduled* value
-        // per node so transport-delay retriggering compares against what
-        // the node is already going to become.
-        let mut queue: Vec<(f64, usize, Trit)> = Vec::new();
+        // (time, sequence, node, value) min-queue, plus the latest
+        // *scheduled* value per node so transport-delay retriggering
+        // compares against what the node is already going to become. The
+        // sequence number makes equal-time pops FIFO: when simultaneous
+        // input changes re-evaluate a gate more than once at the same
+        // instant, the last-scheduled value (computed from the newest
+        // inputs) must also fire last, or a stale intermediate sticks.
+        let mut queue: Vec<(f64, u64, usize, Trit)> = Vec::new();
+        let mut seq = 0u64;
         let mut pending: Vec<Option<Trit>> = vec![None; node_count];
         for &(input, value) in changes {
             self.inputs[input] = value;
             let node = self.netlist.input_node(input);
-            queue.push((0.0, node.index(), value));
+            queue.push((0.0, seq, node.index(), value));
+            seq += 1;
             pending[node.index()] = Some(value);
         }
 
@@ -171,17 +177,19 @@ impl<'a> EventSim<'a> {
                 guard < 100 * node_count + 1000,
                 "event explosion: combinational loop or oscillation?"
             );
-            // Pop the earliest event.
+            // Pop the earliest event; FIFO among equal times.
             let k = queue
                 .iter()
                 .enumerate()
                 .min_by(|(_, a), (_, b)| {
-                    a.0.partial_cmp(&b.0).expect("finite times")
+                    a.0.partial_cmp(&b.0)
+                        .expect("finite times")
+                        .then(a.1.cmp(&b.1))
                 })
                 .map(|(k, _)| k)
                 .expect("non-empty");
-            let (time, node, value) = queue.swap_remove(k);
-            if !queue.iter().any(|&(_, n, _)| n == node) {
+            let (time, _, node, value) = queue.swap_remove(k);
+            if !queue.iter().any(|&(_, _, n, _)| n == node) {
                 pending[node] = None;
             }
             if self.values[node] == value {
@@ -206,7 +214,8 @@ impl<'a> EventSim<'a> {
                 let new_value = g.eval(|d| self.values[d.index()]);
                 let base = pending[sink].unwrap_or(self.values[sink]);
                 if new_value != base {
-                    queue.push((time + self.delays[sink], sink, new_value));
+                    queue.push((time + self.delays[sink], seq, sink, new_value));
+                    seq += 1;
                     pending[sink] = Some(new_value);
                 }
             }
@@ -315,6 +324,25 @@ mod tests {
             "consensus term must hold the output: {:?}",
             waves[0].events()
         );
+    }
+
+    #[test]
+    fn simultaneous_input_changes_settle_to_functional_eval() {
+        // Regression: two inputs of the same gate changing at t = 0 produce
+        // two same-time events on the gate's output (one from the mixed
+        // old/new state, one from the final state). Equal-time pops must be
+        // FIFO, or the stale intermediate fires last and sticks — found by
+        // the batch-vs-scalar differential property suite.
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        let f = n.and2(a, b);
+        n.set_output("f", f);
+        let lib = lib();
+        let mut sim = EventSim::new(&n, &lib, &[Trit::Zero, Trit::One]);
+        let waves = sim.apply(&[(0, Trit::One), (1, Trit::Meta)]);
+        assert_eq!(sim.output_values(), n.eval(&[Trit::One, Trit::Meta]));
+        assert_eq!(waves[0].final_value(), Trit::Meta);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! agree the closure is their common value. Circuits with uncertified cells
 //! (or with the footnote-2 formula structure) do glitch.
 
-use mcs_logic::Trit;
+use mcs_logic::{Trit, TritBlock};
 
 use crate::netlist::Netlist;
 
@@ -64,26 +64,28 @@ pub fn check_transition(
     let old = before[input];
     let new = !old.to_bool().map(Trit::from).expect("transitioning bit must be stable");
 
-    let out_before = netlist.eval(before);
-    let mut after = before.to_vec();
-    after[input] = new;
-    let out_after = netlist.eval(&after);
-    let mut during = before.to_vec();
-    during[input] = Trit::Meta;
-    let out_during = netlist.eval(&during);
-
-    for (k, ((b, a), d)) in out_before
+    // One block evaluation with three lanes: before / after / during.
+    let blocks: Vec<TritBlock> = before
         .iter()
-        .zip(&out_after)
-        .zip(&out_during)
         .enumerate()
-    {
+        .map(|(i, &t)| {
+            if i == input {
+                TritBlock::from_lanes(&[t, new, Trit::Meta])
+            } else {
+                TritBlock::splat(t, 3)
+            }
+        })
+        .collect();
+    let out = netlist.eval_block(&blocks);
+
+    for (k, o) in out.iter().enumerate() {
+        let (b, a, d) = (o.lane(0), o.lane(1), o.lane(2));
         if b == a && b.is_stable() && d.is_meta() {
             return Err(Glitch {
                 input,
                 before: before.to_vec(),
                 output: k,
-                held_value: *b,
+                held_value: b,
             });
         }
     }
@@ -93,6 +95,12 @@ pub fn check_transition(
 /// Checks every single-bit transition from every vector in `vectors`.
 /// Returns the number of transitions checked.
 ///
+/// All transitions of a vector are packed into one [`TritBlock`]
+/// evaluation (lane 0: the vector itself; lanes `2t+1`, `2t+2`: the
+/// after/during states of its `t`-th stable input), and vectors are
+/// gathered into chunks so the words stay full — the sweep runs on the
+/// word-parallel tier instead of three scalar evaluations per transition.
+///
 /// # Errors
 ///
 /// Returns the first potential glitch.
@@ -100,15 +108,79 @@ pub fn glitch_free_all_single_bit<'a>(
     netlist: &Netlist,
     vectors: impl IntoIterator<Item = &'a [Trit]>,
 ) -> Result<u64, Glitch> {
-    let mut checked = 0;
-    for before in vectors {
-        for input in 0..netlist.input_count() {
-            if before[input].is_stable() {
-                check_transition(netlist, before, input)?;
-                checked += 1;
+    let n = netlist.input_count();
+    // Flush once this many lanes have accumulated (a single vector may
+    // exceed it; its 2n+1 lanes still go in one chunk).
+    const TARGET_LANES: usize = 512;
+    // (before vector, first lane, transitioning input indices).
+    let mut entries: Vec<(Vec<Trit>, usize, Vec<usize>)> = Vec::new();
+    let mut lane_values: Vec<Vec<Trit>> = Vec::new();
+
+    let flush = |entries: &mut Vec<(Vec<Trit>, usize, Vec<usize>)>,
+                 lane_values: &mut Vec<Vec<Trit>>|
+     -> Result<(), Glitch> {
+        if entries.is_empty() {
+            return Ok(());
+        }
+        let lanes = lane_values.len();
+        let mut blocks: Vec<TritBlock> =
+            (0..n).map(|_| TritBlock::zeros(lanes)).collect();
+        for (l, v) in lane_values.iter().enumerate() {
+            for (i, &t) in v.iter().enumerate() {
+                blocks[i].set_lane(l, t);
             }
         }
+        let out = netlist.eval_block(&blocks);
+        for (before, base, transitions) in entries.drain(..) {
+            for (t, &input) in transitions.iter().enumerate() {
+                for (k, o) in out.iter().enumerate() {
+                    let b = o.lane(base);
+                    let a = o.lane(base + 2 * t + 1);
+                    let d = o.lane(base + 2 * t + 2);
+                    if b == a && b.is_stable() && d.is_meta() {
+                        return Err(Glitch {
+                            input,
+                            before: before.clone(),
+                            output: k,
+                            held_value: b,
+                        });
+                    }
+                }
+            }
+        }
+        lane_values.clear();
+        Ok(())
+    };
+
+    let mut checked = 0;
+    for before in vectors {
+        assert_eq!(before.len(), n, "input arity");
+        let transitions: Vec<usize> =
+            (0..n).filter(|&i| before[i].is_stable()).collect();
+        if transitions.is_empty() {
+            continue;
+        }
+        checked += transitions.len() as u64;
+        let base = lane_values.len();
+        lane_values.push(before.to_vec());
+        for &input in &transitions {
+            let new = !before[input]
+                .to_bool()
+                .map(Trit::from)
+                .expect("transitioning bit is stable");
+            let mut after = before.to_vec();
+            after[input] = new;
+            lane_values.push(after);
+            let mut during = before.to_vec();
+            during[input] = Trit::Meta;
+            lane_values.push(during);
+        }
+        entries.push((before.to_vec(), base, transitions));
+        if lane_values.len() >= TARGET_LANES {
+            flush(&mut entries, &mut lane_values)?;
+        }
     }
+    flush(&mut entries, &mut lane_values)?;
     Ok(checked)
 }
 

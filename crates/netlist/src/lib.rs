@@ -8,9 +8,9 @@
 //! * [`Netlist`] — a combinational circuit over the cell set of
 //!   [`CellKind`]; built through a type-safe builder API, stored in
 //!   topological order.
-//! * [`eval`](Netlist::eval) / [`eval_batch`](Netlist::eval_batch) —
-//!   functional simulation over [`Trit`]s, scalar or 64 test vectors at a
-//!   time.
+//! * [`eval`](Netlist::eval) / [`eval_batch`](Netlist::eval_batch) /
+//!   [`eval_block`](Netlist::eval_block) — functional simulation over
+//!   [`Trit`]s at three tiers (see *Simulation tiers* below).
 //! * [`tech`] — a technology library with per-cell area and a linear delay
 //!   model, including a NanGate-45nm-like library calibrated against the
 //!   paper's post-layout figures.
@@ -20,6 +20,49 @@
 //!   exhaustive verification that a circuit computes the metastable closure
 //!   of its boolean function.
 //! * [`export`] — Graphviz DOT and structural Verilog writers.
+//!
+//! # Simulation tiers
+//!
+//! All functional simulation runs through one word-parallel core with three
+//! entry points:
+//!
+//! 1. [`eval`](Netlist::eval) — one vector of [`Trit`]s. A convenience
+//!    wrapper that packs the vector into single-lane words; use it for
+//!    debugging and one-off queries, never in an inner loop.
+//! 2. [`eval_batch`](Netlist::eval_batch) — up to 64 vectors packed into one
+//!    [`TritWord`] per input: every gate simulates 64 test vectors with a
+//!    handful of `u64` operations.
+//! 3. [`eval_block`](Netlist::eval_block) — arbitrarily many vectors in one
+//!    [`TritBlock`] per input, evaluated word by word with a reused
+//!    node-value buffer; [`eval_batch_iter`](Netlist::eval_batch_iter)
+//!    streams unbounded domains through it in chunks.
+//!
+//! The exhaustive pipelines (`mc` closure checks, `hazard` sweeps, the
+//! 2-sort and sorting-network verifiers) all run on tier 3. A >64-lane
+//! sweep in one call:
+//!
+//! ```
+//! use mcs_logic::{Trit, TritBlock};
+//! use mcs_netlist::Netlist;
+//!
+//! let mut n = Netlist::new("nand");
+//! let a = n.input("a");
+//! let b = n.input("b");
+//! let f = n.nand2(a, b);
+//! n.set_output("f", f);
+//!
+//! // 3^2 = 9 combinations, repeated to fill 90 lanes across two words.
+//! let lanes_a: Vec<Trit> = (0..90).map(|i| Trit::ALL[i % 3]).collect();
+//! let lanes_b: Vec<Trit> = (0..90).map(|i| Trit::ALL[(i / 3) % 3]).collect();
+//! let out = n.eval_block(&[
+//!     TritBlock::from_lanes(&lanes_a),
+//!     TritBlock::from_lanes(&lanes_b),
+//! ]);
+//! assert_eq!(out[0].lanes(), 90);
+//! for i in 0..90 {
+//!     assert_eq!(out[0].lane(i), !(lanes_a[i] & lanes_b[i]));
+//! }
+//! ```
 //!
 //! # Metastability semantics of cells
 //!
@@ -67,7 +110,7 @@ pub mod vcd;
 
 pub use area::AreaReport;
 pub use gate::{CellKind, Gate, NodeId};
-pub use mcs_logic::{Trit, TritWord};
+pub use mcs_logic::{Trit, TritBlock, TritWord};
 pub use netlist::Netlist;
 pub use tech::{CellSpec, CellTiming, TechLibrary};
 pub use timing::TimingReport;

@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use mcs_logic::{Trit, TritWord};
+use mcs_logic::{Trit, TritBlock, TritWord};
 
 use crate::gate::{CellKind, Gate, NodeId};
 
@@ -351,14 +351,29 @@ impl Netlist {
     /// Evaluates the netlist for one input vector; returns the outputs in
     /// declaration order.
     ///
+    /// This is the width-1 convenience tier: it packs the vector into
+    /// single-lane words and runs the same word-parallel core as
+    /// [`Netlist::eval_batch`] / [`Netlist::eval_block`], so all three tiers
+    /// share one set of cell semantics by construction. Hot loops should
+    /// batch instead of calling this per vector.
+    ///
     /// # Panics
     ///
     /// Panics if the input count is wrong.
     pub fn eval(&self, inputs: &[Trit]) -> Vec<Trit> {
-        let values = self.eval_full(inputs);
-        self.outputs
+        assert_eq!(
+            inputs.len(),
+            self.input_count(),
+            "wrong number of input values for {}",
+            self.name
+        );
+        let words: Vec<TritWord> = inputs
             .iter()
-            .map(|(_, n)| values[n.index()])
+            .map(|&t| TritWord::splat(t, 1))
+            .collect();
+        self.eval_batch(&words)
+            .into_iter()
+            .map(|w| w.lane(0))
             .collect()
     }
 
@@ -388,6 +403,136 @@ impl Netlist {
             .map(|(_, n)| values[n.index()])
             .collect()
     }
+
+    /// Block evaluation: each [`TritBlock`] carries an arbitrary number of
+    /// independent test vectors (lanes) for the corresponding input; returns
+    /// one block per output. All input blocks must share a lane count.
+    /// Lanes are carried by the inputs, so a netlist without primary inputs
+    /// evaluates to zero-lane outputs — use [`Netlist::eval`] (or
+    /// [`Netlist::eval_batch_iter`], which special-cases it) for
+    /// constant-only circuits.
+    ///
+    /// This is the default hot path for exhaustive checks: the circuit is
+    /// evaluated word-by-word through the same bit-plane Kleene operations
+    /// as [`Netlist::eval_batch`], with one node-value buffer reused across
+    /// words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input count is wrong or the lane counts disagree.
+    pub fn eval_block(&self, inputs: &[TritBlock]) -> Vec<TritBlock> {
+        assert_eq!(
+            inputs.len(),
+            self.input_count(),
+            "wrong number of input blocks for {}",
+            self.name
+        );
+        let lanes = inputs.first().map_or(0, TritBlock::lanes);
+        for b in inputs {
+            assert_eq!(b.lanes(), lanes, "input blocks must share a lane count");
+        }
+        let mut out: Vec<TritBlock> = self
+            .outputs
+            .iter()
+            .map(|_| TritBlock::zeros(lanes))
+            .collect();
+        let mut values: Vec<TritWord> = vec![TritWord::ZERO; self.gates.len()];
+        for k in 0..lanes.div_ceil(64) {
+            for i in 0..self.gates.len() {
+                let (done, rest) = values.split_at_mut(i);
+                rest[0] = match &self.gates[i] {
+                    Gate::Input(port) => inputs[*port as usize].word(k),
+                    g => g.eval_word(|n| done[n.index()]),
+                };
+            }
+            for (o, (_, n)) in out.iter_mut().zip(&self.outputs) {
+                o.set_word(k, values[n.index()]);
+            }
+        }
+        out
+    }
+
+    /// Streams an arbitrary-size input domain through the word-parallel
+    /// evaluator: input vectors are gathered into [`TritBlock`] chunks,
+    /// evaluated with [`Netlist::eval_block`], and yielded back one output
+    /// vector per input vector, in order.
+    ///
+    /// ```
+    /// use mcs_logic::Trit;
+    /// use mcs_netlist::Netlist;
+    ///
+    /// let mut n = Netlist::new("and");
+    /// let a = n.input("a");
+    /// let b = n.input("b");
+    /// let f = n.and2(a, b);
+    /// n.set_output("f", f);
+    ///
+    /// // A 100-vector domain runs in two 64-lane words, not 100 evals.
+    /// let domain: Vec<Vec<Trit>> = (0..100)
+    ///     .map(|i| vec![Trit::ALL[i % 3], Trit::One])
+    ///     .collect();
+    /// let outs: Vec<Vec<Trit>> = n.eval_batch_iter(domain.clone()).collect();
+    /// assert_eq!(outs.len(), 100);
+    /// assert_eq!(outs[0], vec![Trit::Zero]); // 0 AND 1
+    /// assert_eq!(outs[2], vec![Trit::Meta]); // M AND 1
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// The returned iterator panics if an input vector has the wrong arity.
+    pub fn eval_batch_iter<'n, I>(
+        &'n self,
+        domain: I,
+    ) -> impl Iterator<Item = Vec<Trit>> + 'n
+    where
+        I: IntoIterator + 'n,
+        I::Item: AsRef<[Trit]>,
+    {
+        /// Lanes per streamed chunk: a few words keeps the node-value
+        /// buffer hot without holding much of the domain in memory.
+        const CHUNK_LANES: usize = 256;
+        let mut it = domain.into_iter();
+        let mut ready: std::collections::VecDeque<Vec<Trit>> =
+            std::collections::VecDeque::new();
+        std::iter::from_fn(move || {
+            if let Some(v) = ready.pop_front() {
+                return Some(v);
+            }
+            let chunk: Vec<I::Item> = it.by_ref().take(CHUNK_LANES).collect();
+            if chunk.is_empty() {
+                return None;
+            }
+            if self.input_count() == 0 {
+                // Constant-only netlist: lanes are carried by input blocks,
+                // so there is nothing to batch — evaluate once per item.
+                for v in &chunk {
+                    assert_eq!(v.as_ref().len(), 0, "wrong number of input values");
+                    ready.push_back(self.eval(&[]));
+                }
+                return ready.pop_front();
+            }
+            let mut blocks: Vec<TritBlock> = (0..self.input_count())
+                .map(|_| TritBlock::zeros(chunk.len()))
+                .collect();
+            for (lane, v) in chunk.iter().enumerate() {
+                let v = v.as_ref();
+                assert_eq!(
+                    v.len(),
+                    self.input_count(),
+                    "wrong number of input values for {}",
+                    self.name
+                );
+                for (i, &t) in v.iter().enumerate() {
+                    blocks[i].set_lane(lane, t);
+                }
+            }
+            let out = self.eval_block(&blocks);
+            for lane in 0..chunk.len() {
+                ready.push_back(out.iter().map(|b| b.lane(lane)).collect());
+            }
+            ready.pop_front()
+        })
+    }
 }
 
 impl fmt::Display for Netlist {
@@ -407,6 +552,7 @@ impl fmt::Display for Netlist {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mcs_logic::TritBlock;
 
     fn mux_from_mc_cells(n: &mut Netlist) -> (NodeId, NodeId, NodeId, NodeId) {
         // Hazard-free cmux: (a·s̄) + (b·s) + (a·b). The consensus term a·b
@@ -506,6 +652,84 @@ mod tests {
             let scalar = n.eval(combo.as_slice());
             assert_eq!(out[0].lane(lane), scalar[0], "lane {lane} {combo:?}");
         }
+    }
+
+    #[test]
+    fn block_matches_scalar_past_64_lanes() {
+        let mut n = Netlist::new("t");
+        mux_from_mc_cells(&mut n);
+        // 3 full passes over the 27 ternary combos = 81 lanes (> one word).
+        let lanes: Vec<[Trit; 3]> = (0..81)
+            .map(|i| {
+                let k = i % 27;
+                [Trit::ALL[k % 3], Trit::ALL[(k / 3) % 3], Trit::ALL[k / 9]]
+            })
+            .collect();
+        let blocks: Vec<TritBlock> = (0..3)
+            .map(|i| {
+                TritBlock::from_lanes(
+                    &lanes.iter().map(|l| l[i]).collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        let out = n.eval_block(&blocks);
+        assert_eq!(out[0].lanes(), 81);
+        assert_eq!(out[0].word_count(), 2);
+        for (lane, combo) in lanes.iter().enumerate() {
+            let scalar = n.eval(combo.as_slice());
+            assert_eq!(out[0].lane(lane), scalar[0], "lane {lane} {combo:?}");
+        }
+    }
+
+    #[test]
+    fn batch_iter_streams_in_order() {
+        let mut n = Netlist::new("t");
+        mux_from_mc_cells(&mut n);
+        let domain: Vec<Vec<Trit>> = (0..300)
+            .map(|i| {
+                vec![Trit::ALL[i % 3], Trit::ALL[(i / 3) % 3], Trit::ALL[(i / 9) % 3]]
+            })
+            .collect();
+        let streamed: Vec<Vec<Trit>> =
+            n.eval_batch_iter(domain.iter().map(Vec::as_slice)).collect();
+        assert_eq!(streamed.len(), 300);
+        for (v, got) in domain.iter().zip(&streamed) {
+            assert_eq!(got, &n.eval(v));
+        }
+        // Empty domain yields nothing.
+        assert_eq!(
+            n.eval_batch_iter(std::iter::empty::<Vec<Trit>>()).count(),
+            0
+        );
+    }
+
+    #[test]
+    fn batch_iter_handles_constant_only_netlists() {
+        // No primary inputs: lanes have no carrier, so the streaming tier
+        // must fall back to per-item scalar evaluation instead of
+        // collapsing to zero lanes.
+        let mut n = Netlist::new("const");
+        let one = n.constant(true);
+        let f = n.inv(one);
+        n.set_output("f", f);
+        assert_eq!(n.eval(&[]), vec![Trit::Zero]);
+        let domain: Vec<Vec<Trit>> = vec![Vec::new(), Vec::new()];
+        let outs: Vec<Vec<Trit>> = n.eval_batch_iter(domain).collect();
+        assert_eq!(outs, vec![vec![Trit::Zero], vec![Trit::Zero]]);
+    }
+
+    #[test]
+    fn block_eval_with_constants_masks_tail() {
+        // Constants splat to all 64 lanes internally; the output block must
+        // still mask unused lanes back to stable 0.
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let one = n.constant(true);
+        let f = n.or2(a, one);
+        n.set_output("f", f);
+        let out = n.eval_block(&[TritBlock::splat(Trit::Zero, 3)]);
+        assert_eq!(out[0].to_lanes(), vec![Trit::One; 3]);
+        assert_eq!(out[0].word(0).lane(3), Trit::Zero, "tail must stay 0");
     }
 
     #[test]

@@ -1,11 +1,17 @@
 //! Sorting-network verification via the 0-1 principle.
 //!
 //! A comparator network sorts **all** inputs if and only if it sorts every
-//! 0-1 input (Knuth, Theorem 5.3.4Z). With `n` channels that is `2^n`
-//! bitmask evaluations — trivial for the sizes of interest here.
+//! 0-1 input (Knuth, Theorem 5.3.4Z). The check runs word-parallel on the
+//! [`TritWord`] tier: 64 input masks per step, one word per channel, with
+//! each comparator a single Kleene AND/OR pair (`min = a ∧ b`,
+//! `max = a ∨ b` — on stable lanes exactly the boolean compare-exchange).
+//! That makes both [`zero_one_verify`] and the local-search fitness
+//! [`zero_one_failures`] ~64× cheaper than per-mask application.
 
 use std::error::Error;
 use std::fmt;
+
+use mcs_logic::TritWord;
 
 use crate::comparator::Network;
 
@@ -56,7 +62,34 @@ pub fn mask_is_sorted(mask: u64, channels: usize) -> bool {
     true
 }
 
-/// Verifies the network sorts every 0-1 input.
+/// Runs the network on the 64 masks `base .. base+64` at once (lanes past
+/// `used` forced to stable 0) and returns the lane mask of inputs whose
+/// output is **not** ascending.
+fn unsorted_lanes(network: &Network, base: u64, used: usize) -> u64 {
+    let n = network.channels();
+    let keep = TritWord::lane_mask(used);
+    let mut ch: Vec<TritWord> = (0..n)
+        .map(|i| {
+            let ones = mcs_logic::integer_bit_plane(base, i) & keep;
+            TritWord::from_planes(!ones, ones)
+        })
+        .collect();
+    for comp in network.comparators() {
+        let a = ch[comp.lo()];
+        let b = ch[comp.hi()];
+        ch[comp.lo()] = a & b; // min
+        ch[comp.hi()] = a | b; // max
+    }
+    // A lane is unsorted iff some adjacent channel pair reads 1 then 0.
+    let mut violation = 0u64;
+    for c in 0..n.saturating_sub(1) {
+        violation |= ch[c].can_one_plane() & ch[c + 1].can_zero_plane();
+    }
+    violation & keep
+}
+
+/// Verifies the network sorts every 0-1 input, 64 masks per step on the
+/// word-parallel tier.
 ///
 /// # Errors
 ///
@@ -68,21 +101,26 @@ pub fn mask_is_sorted(mask: u64, channels: usize) -> bool {
 pub fn zero_one_verify(network: &Network) -> Result<(), SortFailure> {
     let n = network.channels();
     assert!(n <= 24, "0-1 verification limited to 24 channels");
-    for mask in 0..(1u64 << n) {
-        let out = network.apply_mask(mask);
-        if !mask_is_sorted(out, n) {
+    let total = 1u64 << n;
+    let mut base = 0u64;
+    while base < total {
+        let used = 64.min(total - base) as usize;
+        let violation = unsorted_lanes(network, base, used);
+        if violation != 0 {
+            let mask = base + u64::from(violation.trailing_zeros());
             return Err(SortFailure {
                 input_mask: mask,
-                output_mask: out,
+                output_mask: network.apply_mask(mask),
                 channels: n,
             });
         }
+        base += 64;
     }
     Ok(())
 }
 
 /// Counts how many of the `2^n` 0-1 inputs the network fails to sort —
-/// the fitness function of the local search.
+/// the fitness function of the local search — 64 masks per step.
 ///
 /// # Panics
 ///
@@ -90,9 +128,15 @@ pub fn zero_one_verify(network: &Network) -> Result<(), SortFailure> {
 pub fn zero_one_failures(network: &Network) -> u64 {
     let n = network.channels();
     assert!(n <= 24, "0-1 counting limited to 24 channels");
-    (0..(1u64 << n))
-        .filter(|&mask| !mask_is_sorted(network.apply_mask(mask), n))
-        .count() as u64
+    let total = 1u64 << n;
+    let mut failures = 0u64;
+    let mut base = 0u64;
+    while base < total {
+        let used = 64.min(total - base) as usize;
+        failures += u64::from(unsorted_lanes(network, base, used).count_ones());
+        base += 64;
+    }
+    failures
 }
 
 #[cfg(test)]
@@ -127,6 +171,42 @@ mod tests {
         assert!(!mask_is_sorted(out, 4));
         assert!(failure.to_string().contains("not ascending"));
         assert!(zero_one_failures(&net) > 0);
+    }
+
+    #[test]
+    fn word_parallel_check_matches_scalar_apply_mask() {
+        // The word-parallel tier and the per-mask scalar path must agree on
+        // every mask, for channel counts spanning partial (< 64 masks) and
+        // multiple full words — including a deliberately broken network.
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for n in [2usize, 4, 5, 6, 7, 9] {
+            for _ in 0..8 {
+                let size = rng.gen_range(0..12);
+                let pairs: Vec<(usize, usize)> = (0..size)
+                    .map(|_| {
+                        let a = rng.gen_range(0..n - 1);
+                        let b = rng.gen_range(a + 1..n);
+                        (a, b)
+                    })
+                    .collect();
+                let net = Network::from_pairs(n, pairs);
+                let scalar = (0..(1u64 << n))
+                    .filter(|&m| !mask_is_sorted(net.apply_mask(m), n))
+                    .count() as u64;
+                assert_eq!(zero_one_failures(&net), scalar, "{net}");
+                assert_eq!(zero_one_verify(&net).is_ok(), scalar == 0);
+                if let Err(f) = zero_one_verify(&net) {
+                    // The reported counterexample is the *first* failing
+                    // mask, exactly as the scalar enumeration finds it.
+                    let first = (0..(1u64 << n))
+                        .find(|&m| !mask_is_sorted(net.apply_mask(m), n))
+                        .unwrap();
+                    assert_eq!(f.input_mask, first);
+                    assert_eq!(f.output_mask, net.apply_mask(first));
+                }
+            }
+        }
     }
 
     #[test]

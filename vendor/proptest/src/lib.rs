@@ -2,10 +2,11 @@
 //! [`proptest`](https://docs.rs/proptest/1) crate.
 //!
 //! Implements the subset this workspace's property tests use — the
-//! [`Strategy`] trait with `prop_map` / `prop_flat_map`, strategies for
-//! integer ranges, tuples and [`Just`], [`collection::vec`], the
-//! [`proptest!`] macro with optional `#![proptest_config(..)]`, and
-//! `prop_assert!` / `prop_assert_eq!`.
+//! [`Strategy`] trait with `prop_map` / `prop_flat_map` / `boxed`,
+//! strategies for integer ranges, tuples, [`Just`] and [`Union`]
+//! (via [`prop_oneof!`]), [`collection::vec`], the [`proptest!`] macro with
+//! optional `#![proptest_config(..)]`, and `prop_assert!` /
+//! `prop_assert_eq!`.
 //!
 //! Differences from the real crate, by design:
 //!
@@ -97,6 +98,64 @@ pub trait Strategy {
     {
         FlatMap { inner: self, f }
     }
+
+    /// Type-erases the strategy so differently-typed strategies over the
+    /// same value type can share a container (the building block of
+    /// [`prop_oneof!`] / [`Union`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(move |rng| self.sample(rng)))
+    }
+}
+
+/// A type-erased strategy; see [`Strategy::boxed`].
+pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Picks one of several strategies uniformly at random per sample — the
+/// stand-in for the real crate's `Union` / `TupleUnion` behind
+/// [`prop_oneof!`] (without weights or shrinking across variants).
+pub struct Union<S> {
+    options: Vec<S>,
+}
+
+impl<S: Strategy> Union<S> {
+    /// A union over the given options.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn new(options: impl IntoIterator<Item = S>) -> Union<S> {
+        let options: Vec<S> = options.into_iter().collect();
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<S: Strategy> Strategy for Union<S> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        let k = rng.gen(0..self.options.len());
+        self.options[k].sample(rng)
+    }
+}
+
+/// Samples from one of the given strategies, chosen uniformly per case:
+/// `prop_oneof![Just(Trit::Zero), Just(Trit::One), Just(Trit::Meta)]`.
+/// All options must yield the same value type; they are boxed internally.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
 }
 
 /// See [`Strategy::prop_map`].
@@ -228,7 +287,8 @@ pub mod collection {
 pub mod prelude {
     //! Single-import surface: `use proptest::prelude::*;`.
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest,
+        BoxedStrategy, Just, ProptestConfig, Strategy, Union,
     };
 }
 
@@ -306,6 +366,26 @@ mod tests {
         assert!(v.iter().all(|&b| b < 3));
     }
 
+    #[test]
+    fn union_samples_every_option_and_only_those() {
+        let mut rng = crate::TestRng::from_seed(3);
+        let s = prop_oneof![Just(1u8), Just(2), (10u8..12).prop_map(|x| x)];
+        let mut seen = [false; 256];
+        for _ in 0..500 {
+            seen[s.sample(&mut rng) as usize] = true;
+        }
+        for v in [1usize, 2, 10, 11] {
+            assert!(seen[v], "option yielding {v} never sampled");
+        }
+        assert_eq!(seen.iter().filter(|&&b| b).count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one option")]
+    fn empty_union_is_rejected() {
+        let _ = crate::Union::<crate::BoxedStrategy<u8>>::new(Vec::new());
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -314,6 +394,12 @@ mod tests {
             prop_assert!(a < 10);
             prop_assert!((10..20).contains(&b));
             prop_assert_eq!(c.min(4), c);
+        }
+
+        #[test]
+        fn oneof_in_macro_position(v in prop_oneof![Just(0u8), Just(3)], n in 1usize..4) {
+            prop_assert!(v == 0 || v == 3);
+            prop_assert!(n < 4);
         }
     }
 }
