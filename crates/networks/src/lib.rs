@@ -19,8 +19,11 @@
 //!   (31 comparators, depth 7).
 //! * [`circuit`] — network × 2-sort flavour → gate-level netlist.
 //! * [`reference`](mod@reference) — software reference semantics for MC sorting networks.
-//! * [`search`] — a simulated-annealing sorting-network search
-//!   (SorterHunter-style), used to (re)discover small networks.
+//! * [`search`] — a multi-threaded simulated-annealing sorting-network
+//!   search (SorterHunter-style), used to (re)discover small networks:
+//!   independent restarts sharded across workers with a shared
+//!   best-so-far, deterministic for a fixed master seed regardless of
+//!   worker count (see the module docs' determinism contract).
 //!
 //! # Example
 //!

@@ -1,5 +1,6 @@
 //! Stochastic sorting-network search (SorterHunter-style simulated
-//! annealing over layered networks).
+//! annealing over layered networks), run as a multi-threaded driver of
+//! independent restarts with a shared best-so-far.
 //!
 //! Finding size- or depth-optimal sorting networks is a hard combinatorial
 //! problem (the 25-comparator 9-sorter and the depth-7 10-sorters of the
@@ -9,7 +10,7 @@
 //! in seconds-to-minutes; it produced the depth-optimal entries pinned in
 //! [`crate::optimal`].
 //!
-//! Three ingredients make it effective:
+//! Three ingredients make one restart effective:
 //!
 //! * **Bit-parallel fitness** ([`Fitness`]): all `2^n` 0-1 inputs are
 //!   evaluated simultaneously, one `u64` block carrying 64 input vectors
@@ -17,18 +18,64 @@
 //! * **Symmetry** (optional): candidate networks are kept invariant under
 //!   the reflection `(i, j) → (n−1−j, n−1−i)`, which halves the search
 //!   space and is known to be compatible with optimal depths.
-//! * **Annealed acceptance** with restarts and a final greedy pruning pass
-//!   ([`prune`]) that deletes every comparator whose removal keeps the
-//!   network sorting.
+//! * **Annealed acceptance** with a final greedy pruning pass ([`prune`])
+//!   that deletes every comparator whose removal keeps the network sorting.
+//!
+//! # Worker / shared-bound architecture
+//!
+//! Restarts, not iterations, are the unit of parallelism: restart `r` runs
+//! an entire annealing trajectory from the seed
+//! [`derive_restart_seed`]`(master_seed, r)`, and [`parallel_search`]
+//! shards restarts `0, 1, …, restarts−1` round-robin across `workers`
+//! [`std::thread`] workers (worker `w` owns `w, w+W, w+2W, …`, each worker
+//! with its own [`Fitness`] evaluator). Workers coordinate through a shared
+//! best-so-far — an `AtomicUsize` size bound plus a `Mutex<Option<Network>>`
+//! holding the network of record — used to gate lock traffic, to drive the
+//! [`parallel_search_with_progress`] callback, and to stop early once
+//! `stop_at_size` is reached.
+//!
+//! # Determinism contract
+//!
+//! The result of [`parallel_search`] is a pure function of the
+//! configuration — including `master_seed` but **excluding** `workers`:
+//! thread count and thread timing never change the returned network, only
+//! the wall-clock time to find it. This holds because
+//!
+//! * each restart's trajectory reads nothing that other threads write: the
+//!   shared bound is published to, never steered by (a racy read inside the
+//!   annealing loop would make the outcome timing-dependent);
+//! * redundant prune work is skipped by a restart-*local* dedup of
+//!   already-pruned candidates, which provably never changes what a restart
+//!   records (identical candidates prune identically);
+//! * the reduction over per-restart results is stable: smallest network
+//!   first, ties broken by lowest restart index;
+//! * early exit on `stop_at_size` uses a min-restart-index protocol: a hit
+//!   in restart `r` only cancels restarts with index **greater** than `r`
+//!   (which can never win the reduction), so the answer — the hit with the
+//!   lowest restart index — is reproducible even though later restarts are
+//!   abandoned at thread-timing-dependent points.
+//!
+//! The one exception is the optional `wall_clock` budget: a deadline
+//! truncates restarts at timing-dependent iterations, trading determinism
+//! for latency (the `find_network` binary does exactly that).
+
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 
 use crate::comparator::Network;
 #[cfg(test)]
 use crate::verify::zero_one_failures;
 
-/// Search configuration.
+/// Configuration of one annealing restart (and, via [`search`] /
+/// [`search_saturated`], of the historical scalar entry points, which are
+/// single-restart single-worker cases of [`parallel_search`]).
 #[derive(Copy, Clone, Debug)]
 pub struct SearchConfig {
     /// Channel count.
@@ -45,7 +92,8 @@ pub struct SearchConfig {
     /// first layers of depth-optimal networks can be fixed to canonical
     /// saturated prefixes, which shrinks the search space dramatically;
     /// [`search`] installs a brick-wall first layer and, if
-    /// `frozen_layers ≥ 2`, a canonical second layer.
+    /// `frozen_layers ≥ 2`, a canonical second layer. Values beyond
+    /// `max_depth` are clamped, never sliced out of range.
     pub frozen_layers: usize,
 }
 
@@ -61,6 +109,176 @@ impl SearchConfig {
             frozen_layers: 1,
         }
     }
+}
+
+/// Which candidate space a restart explores.
+#[derive(Copy, Clone, Eq, PartialEq, Debug, Default)]
+pub enum SearchSpace {
+    /// Add/remove comparators freely within the depth budget (the space of
+    /// the historical [`search`]). Works for any channel count.
+    #[default]
+    Free,
+    /// Every layer is a perfect matching, mutations re-pair partners within
+    /// one layer (the space of [`search_saturated`]). Even channel counts
+    /// only; far better shaped for depth-optimal hunting, since random
+    /// saturated networks already sort most 0-1 inputs.
+    Saturated,
+}
+
+/// An invalid search configuration. The drivers validate before touching
+/// any candidate state, so misconfiguration is an `Err`, never a panic.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub enum SearchError {
+    /// Channel count outside the supported range (the bit-parallel fitness
+    /// enumerates all `2^n` 0-1 inputs, capping `n` at 24).
+    ChannelsOutOfRange {
+        /// The offending channel count.
+        channels: usize,
+        /// Smallest supported count for the requested space.
+        min: usize,
+        /// Largest supported count.
+        max: usize,
+    },
+    /// [`SearchSpace::Saturated`] needs an even channel count: every layer
+    /// is a perfect matching.
+    OddChannels {
+        /// The offending channel count.
+        channels: usize,
+    },
+    /// `max_depth == 0` leaves no room for even the first layer.
+    ZeroDepth,
+    /// A zero iteration or restart budget — nothing would run, so the
+    /// "no sorter found" result would be an artifact of the configuration.
+    EmptyBudget {
+        /// Configured per-restart iteration budget.
+        iterations: u64,
+        /// Configured restart count.
+        restarts: u64,
+    },
+}
+
+impl fmt::Display for SearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SearchError::ChannelsOutOfRange { channels, min, max } => {
+                write!(f, "channel count {channels} outside supported {min}..={max}")
+            }
+            SearchError::OddChannels { channels } => write!(
+                f,
+                "saturated search needs an even channel count, got {channels}"
+            ),
+            SearchError::ZeroDepth => write!(f, "max_depth must be at least 1"),
+            SearchError::EmptyBudget { iterations, restarts } => write!(
+                f,
+                "empty search budget ({iterations} iterations x {restarts} restarts)"
+            ),
+        }
+    }
+}
+
+impl Error for SearchError {}
+
+/// Configuration of the parallel search driver: a restart recipe plus the
+/// sharding, stopping and budget knobs.
+#[derive(Copy, Clone, Debug)]
+pub struct ParallelSearchConfig {
+    /// Channel count.
+    pub channels: usize,
+    /// Maximum depth (number of layers).
+    pub max_depth: usize,
+    /// Iteration budget **per restart**.
+    pub iterations: u64,
+    /// Total number of restarts, sharded round-robin across workers.
+    /// Restart `r` is seeded with [`derive_restart_seed`]`(master_seed, r)`.
+    pub restarts: u64,
+    /// Master seed; per-restart seeds are derived from it.
+    pub master_seed: u64,
+    /// Worker thread count; `0` means [`std::thread::available_parallelism`].
+    /// Never affects the result, only the wall-clock time (see the module
+    /// docs' determinism contract) — which also makes clamping free: the
+    /// driver caps it at the restart count and at 256 threads.
+    pub workers: usize,
+    /// Keep candidates symmetric under `(i,j) → (n−1−j, n−1−i)`.
+    /// [`SearchSpace::Free`] only; the saturated space ignores it.
+    pub symmetric: bool,
+    /// Leading layers to freeze (clamped to `max_depth`); see
+    /// [`SearchConfig::frozen_layers`]. [`SearchSpace::Free`] only: the
+    /// saturated space always freezes exactly the brick-wall first layer.
+    pub frozen_layers: usize,
+    /// Candidate space each restart explores.
+    pub space: SearchSpace,
+    /// Stop early once a sorter of at most this size is found; the result
+    /// is then the hit from the lowest restart index.
+    pub stop_at_size: Option<usize>,
+    /// Optional wall-clock cap. When it triggers, restarts are truncated at
+    /// timing-dependent points — the one mode that forfeits determinism.
+    pub wall_clock: Option<Duration>,
+}
+
+impl ParallelSearchConfig {
+    /// A reasonable default driver configuration for the given instance:
+    /// 8 restarts of 200k iterations, auto-detected worker count.
+    pub fn new(channels: usize, max_depth: usize) -> ParallelSearchConfig {
+        ParallelSearchConfig {
+            channels,
+            max_depth,
+            iterations: 200_000,
+            restarts: 8,
+            master_seed: 1,
+            workers: 0,
+            symmetric: channels >= 8,
+            frozen_layers: 1,
+            space: SearchSpace::Free,
+            stop_at_size: None,
+            wall_clock: None,
+        }
+    }
+
+    /// The single-restart, single-worker driver equivalent of a scalar
+    /// [`SearchConfig`]: restart 0 is seeded with `config.seed` itself, so
+    /// the trajectory is byte-identical to the historical scalar search.
+    pub fn from_scalar(config: SearchConfig, space: SearchSpace) -> ParallelSearchConfig {
+        ParallelSearchConfig {
+            channels: config.channels,
+            max_depth: config.max_depth,
+            iterations: config.iterations,
+            restarts: 1,
+            master_seed: config.seed,
+            workers: 1,
+            symmetric: config.symmetric,
+            frozen_layers: config.frozen_layers,
+            space,
+            stop_at_size: None,
+            wall_clock: None,
+        }
+    }
+}
+
+/// Derives the RNG seed of restart `restart` from the master seed.
+///
+/// Restart 0 uses the master seed unchanged, so a single-restart driver run
+/// reproduces the historical scalar search stream exactly. Later restarts
+/// split an independent stream out of the vendored `StdRng`: the
+/// `(master_seed, restart)` pair is written into a full 256-bit
+/// [`rand::SeedableRng::from_seed`] seed and one `next_u64` is drawn.
+pub fn derive_restart_seed(master_seed: u64, restart: u64) -> u64 {
+    if restart == 0 {
+        return master_seed;
+    }
+    let mut seed = [0u8; 32];
+    seed[..8].copy_from_slice(&master_seed.to_le_bytes());
+    // xoshiro's first output is a function of the second state word alone,
+    // so that word must already mix master and restart; the rotation keeps
+    // the mix injective for realistic (< 2^32) masters and restart counts.
+    seed[8..16]
+        .copy_from_slice(&(restart ^ master_seed.rotate_left(32)).to_le_bytes());
+    seed[16..24].copy_from_slice(&(!master_seed).to_le_bytes());
+    seed[24..].copy_from_slice(&(0x9E37_79B9_7F4A_7C15u64 ^ restart).to_le_bytes());
+    let mut rng = StdRng::from_seed(seed);
+    // Warm-up draws let the remaining state words diffuse into the output.
+    rng.next_u64();
+    rng.next_u64();
+    rng.next_u64()
 }
 
 /// Bit-parallel 0-1 fitness evaluator: counts unsorted outputs over all
@@ -80,7 +298,8 @@ impl Fitness {
     ///
     /// # Panics
     ///
-    /// Panics if `channels` is 0 or exceeds 24.
+    /// Panics if `channels` is 0 or exceeds 24. (The search drivers
+    /// validate first and return [`SearchError`] instead.)
     pub fn new(channels: usize) -> Fitness {
         assert!(channels > 0 && channels <= 24, "1..=24 channels");
         let total = 1usize << channels;
@@ -152,10 +371,6 @@ impl Candidate {
         self.layers.iter().flatten().copied().collect()
     }
 
-    fn to_network(&self) -> Network {
-        Network::from_pairs(self.channels, self.flat())
-    }
-
     fn layer_uses(&self, layer: usize, ch: usize) -> bool {
         self.layers[layer].iter().any(|&(a, b)| a == ch || b == ch)
     }
@@ -202,24 +417,339 @@ impl Candidate {
     }
 }
 
-/// Runs the search. Returns the best *sorting* network found (fitness 0),
-/// pruned of redundant comparators, or `None` if the budget ran out before
-/// a sorter appeared.
+/// Shared best-so-far: the coordination point between workers.
+struct Shared<'a> {
+    /// Size of the best published sorter (`usize::MAX` until one exists).
+    /// Read lock-free to gate mutex traffic; never read inside a restart's
+    /// annealing logic (see the module docs' determinism contract).
+    best_size: AtomicUsize,
+    /// The best published network itself.
+    best: Mutex<Option<Network>>,
+    /// Lowest restart index that reached `stop_at_size` (`u64::MAX` until
+    /// one does). Workers skip or abandon restarts with a *larger* index.
+    hit_restart: AtomicU64,
+    /// Wall-clock deadline reached — all workers drain immediately.
+    expired: AtomicBool,
+    /// Improvement callback, invoked under the `best` lock.
+    on_improve: &'a (dyn Fn(usize, &Network) + Sync),
+}
+
+impl Shared<'_> {
+    /// Publishes a restart-local improvement to the shared best-so-far.
+    fn publish(&self, network: &Network) {
+        let size = network.size();
+        if size >= self.best_size.load(Ordering::Acquire) {
+            return;
+        }
+        let mut slot = self.best.lock().expect("search driver poisoned");
+        let current = slot.as_ref().map_or(usize::MAX, Network::size);
+        if size < current {
+            self.best_size.store(size, Ordering::Release);
+            *slot = Some(network.clone());
+            (self.on_improve)(size, network);
+        }
+    }
+
+    /// `true` once the restart should stop: deadline expired, or the
+    /// stop-at-size answer is already decided at a lower restart index.
+    fn interrupted(&self, restart: u64, deadline: Option<Instant>) -> bool {
+        if self.expired.load(Ordering::Relaxed) {
+            return true;
+        }
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            self.expired.store(true, Ordering::Relaxed);
+            return true;
+        }
+        self.hit_restart.load(Ordering::Relaxed) < restart
+    }
+}
+
+/// How often the annealing loops poll for interruption (a power of two;
+/// the check is a couple of relaxed atomic loads plus, under a wall-clock
+/// budget, one `Instant::now`).
+const CONTROL_MASK: u64 = (1 << 14) - 1;
+
+/// Ring size of the restart-local "already pruned this candidate" dedup.
+const PRUNE_RING: usize = 32;
+
+/// Restart-local record keeping: the best pruned sorter seen, a dedup ring
+/// of recently pruned candidates, and the stop-at-size target.
+struct Recorder<'a, 'b> {
+    best: Option<Network>,
+    best_size: usize,
+    target: Option<usize>,
+    recent: [u64; PRUNE_RING],
+    cursor: usize,
+    shared: &'a Shared<'b>,
+}
+
+impl<'a, 'b> Recorder<'a, 'b> {
+    fn new(shared: &'a Shared<'b>, target: Option<usize>) -> Recorder<'a, 'b> {
+        Recorder {
+            best: None,
+            best_size: usize::MAX,
+            target,
+            recent: [0; PRUNE_RING],
+            cursor: 0,
+            shared,
+        }
+    }
+
+    /// Handles a fitness-0 candidate: prunes it (unless an identical
+    /// candidate was pruned recently — identical candidates prune
+    /// identically, so skipping repeats never changes what gets recorded),
+    /// records improvements, publishes them to the shared best-so-far, and
+    /// returns `true` when the restart should terminate (target reached).
+    fn observe(
+        &mut self,
+        channels: usize,
+        flat: Vec<(usize, usize)>,
+        fitness: &mut Fitness,
+    ) -> bool {
+        let h = fnv1a(&flat);
+        if self.recent.contains(&h) {
+            return false;
+        }
+        self.recent[self.cursor] = h;
+        self.cursor = (self.cursor + 1) % PRUNE_RING;
+        let pruned = prune_with(fitness, flat);
+        let size = pruned.len();
+        let hit = self.target.is_some_and(|t| size <= t);
+        if size < self.best_size {
+            let network = Network::from_pairs(channels, pruned);
+            self.shared.publish(&network);
+            self.best_size = size;
+            self.best = Some(network);
+        }
+        hit
+    }
+}
+
+/// FNV-1a over the comparator pairs, for the prune dedup ring. (Zero is
+/// fine as the ring's vacant marker: the FNV offset basis is nonzero and a
+/// candidate at fitness 0 is never empty for `n ≥ 2`.)
+fn fnv1a(pairs: &[(usize, usize)]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &(a, b) in pairs {
+        for byte in [(a as u64), (b as u64)] {
+            h ^= byte;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// One restart's outcome, tagged with the restart index for the stable
+/// reduce.
+struct Found {
+    restart: u64,
+    network: Network,
+}
+
+/// Everything one worker brings back: its best find and its first
+/// stop-at-size hit (restarts after a hit are never started).
+#[derive(Default)]
+struct WorkerOutcome {
+    best: Option<Found>,
+    hit: Option<Found>,
+}
+
+fn validate(config: &ParallelSearchConfig) -> Result<(), SearchError> {
+    let n = config.channels;
+    let (min, max) = match config.space {
+        SearchSpace::Free => (1, 24),
+        SearchSpace::Saturated => (2, 24),
+    };
+    if n < min || n > max {
+        return Err(SearchError::ChannelsOutOfRange { channels: n, min, max });
+    }
+    if config.space == SearchSpace::Saturated && !n.is_multiple_of(2) {
+        return Err(SearchError::OddChannels { channels: n });
+    }
+    if config.max_depth == 0 {
+        return Err(SearchError::ZeroDepth);
+    }
+    if config.iterations == 0 || config.restarts == 0 {
+        return Err(SearchError::EmptyBudget {
+            iterations: config.iterations,
+            restarts: config.restarts,
+        });
+    }
+    Ok(())
+}
+
+/// Runs the parallel search driver. Returns the best *sorting* network
+/// found (fitness 0), pruned of redundant comparators, or `Ok(None)` if the
+/// budget ran out before a sorter appeared.
+///
+/// The result is deterministic: it depends on the configuration's instance,
+/// budget and `master_seed`, but **not** on `workers` or thread timing
+/// (unless the optional `wall_clock` cap triggers — see the module docs).
+///
+/// # Errors
+///
+/// [`SearchError`] on an invalid configuration: out-of-range or (for
+/// [`SearchSpace::Saturated`]) odd channel count, zero depth, or an empty
+/// iteration/restart budget.
 ///
 /// ```
-/// use mcs_networks::search::{search, SearchConfig};
+/// use mcs_networks::search::{parallel_search, ParallelSearchConfig};
 /// use mcs_networks::verify::zero_one_verify;
 ///
-/// let mut config = SearchConfig::new(4, 3);
-/// config.iterations = 50_000;
-/// let found = search(config).expect("a depth-3 4-sorter exists");
+/// let mut config = ParallelSearchConfig::new(6, 5);
+/// config.iterations = 60_000;
+/// config.restarts = 4;
+/// config.master_seed = 9;
+/// config.workers = 2;
+/// let found = parallel_search(&config).unwrap().expect("a 6-sorter exists");
 /// assert!(zero_one_verify(&found).is_ok());
-/// assert!(found.size() <= 6);
+///
+/// // The worker count shards the work but never changes the answer.
+/// config.workers = 1;
+/// assert_eq!(parallel_search(&config).unwrap(), Some(found));
 /// ```
-pub fn search(config: SearchConfig) -> Option<Network> {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+pub fn parallel_search(
+    config: &ParallelSearchConfig,
+) -> Result<Option<Network>, SearchError> {
+    parallel_search_with_progress(config, |_, _| {})
+}
+
+/// [`parallel_search`] with a live-progress callback, invoked (under the
+/// shared-best lock, so keep it brief) each time any worker improves the
+/// shared best-so-far with `(size, network)`.
+pub fn parallel_search_with_progress(
+    config: &ParallelSearchConfig,
+    on_improve: impl Fn(usize, &Network) + Sync,
+) -> Result<Option<Network>, SearchError> {
+    validate(config)?;
+    let workers = resolve_workers(config);
+    let deadline = config.wall_clock.map(|budget| Instant::now() + budget);
+    let shared = Shared {
+        best_size: AtomicUsize::new(usize::MAX),
+        best: Mutex::new(None),
+        hit_restart: AtomicU64::new(u64::MAX),
+        expired: AtomicBool::new(false),
+        on_improve: &on_improve,
+    };
+
+    let outcomes: Vec<WorkerOutcome> = if workers == 1 {
+        vec![worker_loop(0, 1, config, deadline, &shared)]
+    } else {
+        thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let shared = &shared;
+                    scope.spawn(move || worker_loop(w, workers, config, deadline, shared))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("search worker panicked"))
+                .collect()
+        })
+    };
+
+    // Stable reduce. With a stop-at-size hit, the answer is the hit from
+    // the lowest restart index: every restart below it ran to completion
+    // without hitting, and restarts above it cannot win, so the choice is
+    // timing-independent. Otherwise: smallest network, lowest restart.
+    if let Some(found) = outcomes
+        .iter()
+        .filter_map(|o| o.hit.as_ref())
+        .min_by_key(|f| f.restart)
+    {
+        return Ok(Some(found.network.clone()));
+    }
+    Ok(outcomes
+        .into_iter()
+        .filter_map(|o| o.best)
+        .min_by_key(|f| (f.network.size(), f.restart))
+        .map(|f| f.network))
+}
+
+/// Hard ceiling on spawned workers: more threads than this cannot help
+/// (restarts are the unit of work) and huge requests would otherwise panic
+/// in `thread::scope` instead of being harmlessly clamped — which the
+/// determinism contract allows, since worker count never affects results.
+const MAX_WORKERS: usize = 256;
+
+fn resolve_workers(config: &ParallelSearchConfig) -> usize {
+    let requested = if config.workers == 0 {
+        thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        config.workers
+    };
+    // More workers than restarts would only spawn idle threads.
+    requested
+        .clamp(1, MAX_WORKERS)
+        .min(usize::try_from(config.restarts).unwrap_or(usize::MAX))
+}
+
+/// Worker `worker` of `workers`: runs restarts `worker, worker+workers, …`
+/// in ascending order, each from its derived seed, on one reused [`Fitness`].
+fn worker_loop(
+    worker: usize,
+    workers: usize,
+    config: &ParallelSearchConfig,
+    deadline: Option<Instant>,
+    shared: &Shared<'_>,
+) -> WorkerOutcome {
+    let mut fitness = Fitness::new(config.channels);
+    let mut outcome = WorkerOutcome::default();
+    let mut restart = worker as u64;
+    while restart < config.restarts {
+        if shared.expired.load(Ordering::Relaxed)
+            || deadline.is_some_and(|d| Instant::now() >= d)
+        {
+            shared.expired.store(true, Ordering::Relaxed);
+            break;
+        }
+        // A published hit at a lower index settles the answer for every
+        // later index; this worker's remaining indices only grow.
+        if shared.hit_restart.load(Ordering::Relaxed) < restart {
+            break;
+        }
+        let seed = derive_restart_seed(config.master_seed, restart);
+        let result = match config.space {
+            SearchSpace::Free => anneal_free(config, seed, restart, &mut fitness, deadline, shared),
+            SearchSpace::Saturated => {
+                anneal_saturated(config, seed, restart, &mut fitness, deadline, shared)
+            }
+        };
+        if let Some(network) = result {
+            let hit = config.stop_at_size.is_some_and(|t| network.size() <= t);
+            let better = match &outcome.best {
+                None => true,
+                Some(b) => network.size() < b.network.size(),
+            };
+            if better {
+                outcome.best = Some(Found { restart, network: network.clone() });
+            }
+            if hit {
+                shared.hit_restart.fetch_min(restart, Ordering::AcqRel);
+                outcome.hit = Some(Found { restart, network });
+                break;
+            }
+        }
+        restart += workers as u64;
+    }
+    outcome
+}
+
+/// One annealing restart over the free add/remove space. Returns the
+/// restart's best pruned sorter (terminating early at a stop-at-size hit,
+/// in which case the hit **is** the best: every earlier record was above
+/// the target).
+fn anneal_free(
+    config: &ParallelSearchConfig,
+    seed: u64,
+    restart: u64,
+    fitness_eval: &mut Fitness,
+    deadline: Option<Instant>,
+    shared: &Shared<'_>,
+) -> Option<Network> {
+    let mut rng = StdRng::seed_from_u64(seed);
     let n = config.channels;
-    let mut fitness_eval = Fitness::new(n);
     let mut cand = Candidate::empty(n, config.max_depth);
     // Seed with a brick-wall first layer (a perfect matching) — symmetric
     // by construction.
@@ -236,10 +766,12 @@ pub fn search(config: SearchConfig) -> Option<Network> {
     }
     let frozen = config.frozen_layers.min(config.max_depth);
     let mut fitness = fitness_eval.failures(&cand.flat());
-    let mut best: Option<Network> = None;
-    let mut best_size = usize::MAX;
+    let mut recorder = Recorder::new(shared, config.stop_at_size);
 
     for iter in 0..config.iterations {
+        if iter & CONTROL_MASK == 0 && shared.interrupted(restart, deadline) {
+            break;
+        }
         let mut next = cand.clone();
         mutate_free(&mut next, &mut rng, config.symmetric, frozen);
         let next_fitness = fitness_eval.failures(&next.flat());
@@ -254,10 +786,8 @@ pub fn search(config: SearchConfig) -> Option<Network> {
             fitness = next_fitness;
         }
         if fitness == 0 {
-            let pruned = prune(&cand.to_network());
-            if pruned.size() < best_size {
-                best_size = pruned.size();
-                best = Some(pruned);
+            if recorder.observe(n, cand.flat(), fitness_eval) {
+                break;
             }
             // Kick: drop a comparator and keep hunting for smaller sorters.
             let victim = rng.gen_range(frozen.min(cand.layers.len() - 1)..cand.layers.len());
@@ -265,7 +795,7 @@ pub fn search(config: SearchConfig) -> Option<Network> {
             fitness = fitness_eval.failures(&cand.flat());
         }
     }
-    best
+    recorder.best
 }
 
 fn mutate_free(cand: &mut Candidate, rng: &mut StdRng, symmetric: bool, frozen: usize) {
@@ -292,26 +822,20 @@ fn mutate_free(cand: &mut Candidate, rng: &mut StdRng, symmetric: bool, frozen: 
     }
 }
 
-/// Depth-targeted search over **saturated** layered networks: every layer
-/// is a perfect matching (for even `n`), so every candidate has exactly
-/// `depth` layers and `depth·n/2` comparators; mutations re-pair partners
-/// within one layer. This space is far better shaped for finding
-/// depth-optimal sorters than the add/remove space of [`search`]: random
-/// saturated networks already sort most 0-1 inputs. After a sorter is
-/// found, [`prune`] strips redundant comparators (depth never grows).
-///
-/// Returns the smallest sorter found, or `None` within the budget.
-///
-/// # Panics
-///
-/// Panics if `channels` is odd or not in `2..=24` (saturated layers need a
-/// perfect matching).
-pub fn search_saturated(config: SearchConfig) -> Option<Network> {
+/// One restart over the saturated space: every layer a perfect matching
+/// (`depth·n/2` comparators), mutations re-pair partners within one layer.
+fn anneal_saturated(
+    config: &ParallelSearchConfig,
+    seed: u64,
+    restart: u64,
+    fitness_eval: &mut Fitness,
+    deadline: Option<Instant>,
+    shared: &Shared<'_>,
+) -> Option<Network> {
     let n = config.channels;
-    assert!(n.is_multiple_of(2) && (2..=24).contains(&n), "even channel count");
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut fitness_eval = Fitness::new(n);
+    let mut rng = StdRng::seed_from_u64(seed);
     let depth = config.max_depth;
+    let mut recorder = Recorder::new(shared, config.stop_at_size);
 
     // Initial candidate: brick-wall first layer, random matchings after.
     let mut layers: Vec<Vec<(usize, usize)>> = Vec::with_capacity(depth);
@@ -323,11 +847,22 @@ pub fn search_saturated(config: SearchConfig) -> Option<Network> {
         layers.iter().flatten().copied().collect()
     };
     let mut fitness = fitness_eval.failures(&flatten(&layers));
-    let mut best: Option<Network> = None;
-    let mut best_size = usize::MAX;
+    if depth == 1 || n == 2 {
+        // Nothing to mutate: at depth 1 the single layer is the frozen
+        // brick wall, and at n = 2 every layer is the one matching (0,1)
+        // (the re-pair move needs two comparators in a layer). Evaluate
+        // the unique candidate and return.
+        if fitness == 0 {
+            recorder.observe(n, flatten(&layers), fitness_eval);
+        }
+        return recorder.best;
+    }
     let mut since_improvement = 0u64;
 
-    for _ in 0..config.iterations {
+    for iter in 0..config.iterations {
+        if iter & CONTROL_MASK == 0 && shared.interrupted(restart, deadline) {
+            break;
+        }
         let layer = rng.gen_range(1..depth);
         let before = layers[layer].clone();
         // Re-pair: exchange partners between two comparators of the layer,
@@ -366,10 +901,8 @@ pub fn search_saturated(config: SearchConfig) -> Option<Network> {
             layers[layer] = before;
         }
         if fitness == 0 {
-            let pruned = prune(&Network::from_pairs(n, flatten(&layers)));
-            if pruned.size() < best_size {
-                best_size = pruned.size();
-                best = Some(pruned);
+            if recorder.observe(n, flatten(&layers), fitness_eval) {
+                break;
             }
             // Shake one layer and continue hunting.
             let victim = rng.gen_range(1..depth);
@@ -385,7 +918,7 @@ pub fn search_saturated(config: SearchConfig) -> Option<Network> {
             since_improvement = 0;
         }
     }
-    best
+    recorder.best
 }
 
 fn random_matching(n: usize, rng: &mut StdRng) -> Vec<(usize, usize)> {
@@ -401,16 +934,77 @@ fn random_matching(n: usize, rng: &mut StdRng) -> Vec<(usize, usize)> {
         .collect()
 }
 
+/// Runs the free-space search: the single-restart, single-worker case of
+/// [`parallel_search`] (restart 0 is seeded with `config.seed` itself).
+/// Returns the best *sorting* network found (fitness 0), pruned of
+/// redundant comparators, or `Ok(None)` if the budget ran out before a
+/// sorter appeared.
+///
+/// # Errors
+///
+/// [`SearchError`] if `channels` is 0 or exceeds 24, `max_depth` is 0, or
+/// the iteration budget is 0.
+///
+/// ```
+/// use mcs_networks::search::{search, SearchConfig};
+/// use mcs_networks::verify::zero_one_verify;
+///
+/// let mut config = SearchConfig::new(4, 3);
+/// config.iterations = 50_000;
+/// let found = search(config)
+///     .expect("config is valid")
+///     .expect("a depth-3 4-sorter exists");
+/// assert!(zero_one_verify(&found).is_ok());
+/// assert!(found.size() <= 6);
+/// ```
+pub fn search(config: SearchConfig) -> Result<Option<Network>, SearchError> {
+    parallel_search(&ParallelSearchConfig::from_scalar(config, SearchSpace::Free))
+}
+
+/// Depth-targeted search over **saturated** layered networks — the
+/// single-restart, single-worker case of [`parallel_search`] with
+/// [`SearchSpace::Saturated`]. Every layer is a perfect matching (for even
+/// `n`), so every candidate has exactly `depth` layers and `depth·n/2`
+/// comparators; mutations re-pair partners within one layer. This space is
+/// far better shaped for finding depth-optimal sorters than the add/remove
+/// space of [`search`]: random saturated networks already sort most 0-1
+/// inputs. After a sorter is found, [`prune`] strips redundant comparators
+/// (depth never grows).
+///
+/// `config.symmetric` and `config.frozen_layers` are ignored: the
+/// saturated space always freezes exactly the brick-wall first layer.
+///
+/// Returns the smallest sorter found, or `Ok(None)` within the budget.
+///
+/// # Errors
+///
+/// [`SearchError`] if `channels` is odd or not in `2..=24`, `max_depth` is
+/// 0, or the iteration budget is 0.
+pub fn search_saturated(config: SearchConfig) -> Result<Option<Network>, SearchError> {
+    parallel_search(&ParallelSearchConfig::from_scalar(config, SearchSpace::Saturated))
+}
+
 /// Removes every comparator whose deletion keeps the network sorting
-/// (front to back, repeatedly until a fixed point).
+/// (front to back, repeatedly until a fixed point). Never grows the
+/// network's size or depth.
 pub fn prune(network: &Network) -> Network {
-    let mut comps: Vec<(usize, usize)> = network
-        .comparators()
-        .iter()
-        .map(|c| (c.lo(), c.hi()))
-        .collect();
     let channels = network.channels();
     let mut fitness = Fitness::new(channels);
+    let comps = prune_with(
+        &mut fitness,
+        network
+            .comparators()
+            .iter()
+            .map(|c| (c.lo(), c.hi()))
+            .collect(),
+    );
+    Network::from_pairs(channels, comps)
+}
+
+/// [`prune`] on raw pairs, reusing a caller-owned evaluator — the search
+/// workers prune many candidates per restart and skip rebuilding the
+/// `2^n`-input tables each time.
+fn prune_with(fitness: &mut Fitness, mut comps: Vec<(usize, usize)>) -> Vec<(usize, usize)> {
     let mut changed = true;
     while changed {
         changed = false;
@@ -426,7 +1020,7 @@ pub fn prune(network: &Network) -> Network {
             }
         }
     }
-    Network::from_pairs(channels, comps)
+    comps
 }
 
 #[cfg(test)]
@@ -467,7 +1061,7 @@ mod tests {
         let mut config = SearchConfig::new(4, 3);
         config.iterations = 50_000;
         config.seed = 42;
-        let net = search(config).expect("4-sorter at depth 3");
+        let net = search(config).expect("valid config").expect("4-sorter at depth 3");
         assert!(zero_one_verify(&net).is_ok());
         assert!(net.depth() <= 3);
         assert!(net.size() <= 6);
@@ -478,7 +1072,7 @@ mod tests {
         let mut config = SearchConfig::new(5, 5);
         config.iterations = 80_000;
         config.seed = 7;
-        let net = search(config).expect("5-sorter at depth 5");
+        let net = search(config).expect("valid config").expect("5-sorter at depth 5");
         assert!(zero_one_verify(&net).is_ok());
         assert!(net.size() <= 10);
     }
@@ -492,7 +1086,7 @@ mod tests {
                 config.iterations = 250_000;
                 config.seed = seed;
                 config.frozen_layers = 2;
-                search(config)
+                search(config).expect("valid config")
             })
             .expect("8-sorter at depth 6");
         assert!(zero_one_verify(&net).is_ok());
@@ -509,5 +1103,132 @@ mod tests {
         let pruned = prune(&net);
         assert!(zero_one_verify(&pruned).is_ok());
         assert_eq!(pruned.size(), 5);
+    }
+
+    #[test]
+    fn restart_seeds_are_stable_and_independent() {
+        // Restart 0 is the master seed itself — the historical scalar
+        // stream — and later restarts derive distinct, reproducible seeds.
+        assert_eq!(derive_restart_seed(42, 0), 42);
+        let seeds: Vec<u64> = (0..64).map(|r| derive_restart_seed(42, r)).collect();
+        let rerun: Vec<u64> = (0..64).map(|r| derive_restart_seed(42, r)).collect();
+        assert_eq!(seeds, rerun);
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len(), "derived seeds collide");
+        // A different master seed moves every derived stream.
+        assert!((1..64).all(|r| derive_restart_seed(43, r) != seeds[r as usize]));
+    }
+
+    #[test]
+    fn invalid_configurations_are_errors_not_panics() {
+        // Odd channel count: only the saturated space rejects it.
+        assert_eq!(
+            search_saturated(SearchConfig::new(5, 5)).unwrap_err(),
+            SearchError::OddChannels { channels: 5 }
+        );
+        // Out-of-range channel counts.
+        assert_eq!(
+            search(SearchConfig::new(25, 5)).unwrap_err(),
+            SearchError::ChannelsOutOfRange { channels: 25, min: 1, max: 24 }
+        );
+        assert_eq!(
+            search(SearchConfig::new(0, 5)).unwrap_err(),
+            SearchError::ChannelsOutOfRange { channels: 0, min: 1, max: 24 }
+        );
+        assert_eq!(
+            search_saturated(SearchConfig::new(26, 5)).unwrap_err(),
+            SearchError::ChannelsOutOfRange { channels: 26, min: 2, max: 24 }
+        );
+        // Zero depth.
+        assert_eq!(search(SearchConfig::new(4, 0)).unwrap_err(), SearchError::ZeroDepth);
+        assert_eq!(
+            search_saturated(SearchConfig::new(4, 0)).unwrap_err(),
+            SearchError::ZeroDepth
+        );
+        // Zero iteration budget.
+        let mut config = SearchConfig::new(4, 3);
+        config.iterations = 0;
+        assert_eq!(
+            search(config).unwrap_err(),
+            SearchError::EmptyBudget { iterations: 0, restarts: 1 }
+        );
+        // Zero restarts on the parallel driver.
+        let mut parallel = ParallelSearchConfig::new(4, 3);
+        parallel.restarts = 0;
+        assert_eq!(
+            parallel_search(&parallel).unwrap_err(),
+            SearchError::EmptyBudget { iterations: 200_000, restarts: 0 }
+        );
+        // Errors display the offending numbers.
+        assert!(SearchError::OddChannels { channels: 5 }.to_string().contains('5'));
+        assert!(SearchError::ZeroDepth.to_string().contains("max_depth"));
+    }
+
+    #[test]
+    fn frozen_layers_beyond_depth_are_clamped() {
+        // frozen_layers far past max_depth must clamp, not slice out of
+        // range: the search runs its budget with every layer frozen. The
+        // 4-channel brick wall alone is not a sorter, so nothing is found.
+        let mut config = SearchConfig::new(4, 2);
+        config.frozen_layers = 10;
+        config.iterations = 5_000;
+        config.seed = 3;
+        assert_eq!(search(config).expect("valid config"), None);
+
+        // Same clamp on the parallel driver, with room to actually sort.
+        let mut parallel = ParallelSearchConfig::new(4, 3);
+        parallel.frozen_layers = 99;
+        parallel.iterations = 5_000;
+        parallel.restarts = 2;
+        parallel.workers = 1;
+        // All layers frozen: still no panic, deterministic None.
+        assert_eq!(parallel_search(&parallel).unwrap(), None);
+    }
+
+    #[test]
+    fn saturated_depth_one_evaluates_the_brick_wall() {
+        // depth 1 leaves nothing to mutate; the lone brick-wall candidate
+        // sorts exactly when n == 2.
+        let mut config = SearchConfig::new(2, 1);
+        config.iterations = 10;
+        let net = search_saturated(config).expect("valid config").expect("(0,1) sorts");
+        assert_eq!(net.size(), 1);
+        let mut config = SearchConfig::new(4, 1);
+        config.iterations = 10;
+        assert_eq!(search_saturated(config).expect("valid config"), None);
+    }
+
+    #[test]
+    fn saturated_two_channels_terminates_at_any_depth() {
+        // Regression: n = 2 layers hold a single comparator, so the
+        // re-pair move (which draws two distinct comparator indices) would
+        // spin forever. The space has exactly one candidate — a stack of
+        // (0,1) brick walls — which must be evaluated and returned.
+        for depth in [2usize, 3, 5] {
+            let mut config = SearchConfig::new(2, depth);
+            config.iterations = 1_000;
+            let net = search_saturated(config)
+                .expect("valid config")
+                .expect("(0,1) stacks sort");
+            assert_eq!(net.size(), 1, "prune strips the duplicate brick walls");
+        }
+    }
+
+    #[test]
+    fn stop_at_size_returns_the_lowest_restart_hit() {
+        let mut config = ParallelSearchConfig::new(4, 3);
+        config.iterations = 50_000;
+        config.restarts = 4;
+        config.master_seed = 42;
+        config.workers = 1;
+        config.stop_at_size = Some(5);
+        let hit = parallel_search(&config).unwrap().expect("5-comparator 4-sorter");
+        assert_eq!(hit.size(), 5);
+        assert!(zero_one_verify(&hit).is_ok());
+        // Same hit regardless of sharding.
+        config.workers = 3;
+        assert_eq!(parallel_search(&config).unwrap(), Some(hit));
     }
 }

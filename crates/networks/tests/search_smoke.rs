@@ -1,0 +1,48 @@
+//! CI smoke test: the parallel search driver must rediscover the optimal
+//! 19-comparator 8-channel sorting network under a small fixed budget.
+//!
+//! The budget is the CI contract: multi-worker, fixed master seed, a few
+//! hundred thousand iterations per restart. If the found size ever exceeds
+//! 19 the search (or its determinism machinery) has regressed.
+
+use std::time::Instant;
+
+use mcs_networks::optimal::OPTIMAL_SIZES;
+use mcs_networks::search::{parallel_search, ParallelSearchConfig, SearchSpace};
+use mcs_networks::verify::zero_one_verify;
+
+/// The pinned CI budget (keep in sync with README / CHANGES notes).
+fn smoke_config() -> ParallelSearchConfig {
+    let mut config = ParallelSearchConfig::new(8, 7);
+    config.space = SearchSpace::Saturated;
+    config.iterations = 150_000;
+    config.restarts = 8;
+    config.master_seed = 2018; // the paper's year; pinned, not magic
+    config.workers = 4;
+    config.stop_at_size = Some(19);
+    config
+}
+
+#[test]
+fn rediscovers_the_optimal_eight_sorter() {
+    let start = Instant::now();
+    let net = parallel_search(&smoke_config())
+        .expect("smoke config is valid")
+        .expect("8-sorter within the CI smoke budget");
+    println!(
+        "search-smoke: found {net} in {:.2?}",
+        start.elapsed()
+    );
+    assert!(zero_one_verify(&net).is_ok());
+    assert_eq!(net.channels(), 8);
+    // 19 is the known optimal size for n = 8: finding less is impossible,
+    // finding more is a regression.
+    assert_eq!(net.size(), OPTIMAL_SIZES[7]);
+    assert_eq!(net.size(), 19);
+
+    // The budget is deterministic: a second run, sharded differently, must
+    // reproduce the identical network byte for byte.
+    let mut resharded = smoke_config();
+    resharded.workers = 2;
+    assert_eq!(parallel_search(&resharded).unwrap(), Some(net));
+}

@@ -11,6 +11,7 @@ use mcs::prelude::*;
 use mcs_netlist::export::{to_dot, to_verilog};
 use mcs_networks::generators::{batcher_odd_even, bitonic, insertion};
 use mcs_networks::optimal::{best_depth, best_size, OPTIMAL_DEPTHS, OPTIMAL_SIZES};
+use mcs_networks::search::{parallel_search, ParallelSearchConfig, SearchSpace};
 use mcs_networks::verify::zero_one_verify;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -64,6 +65,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             circuit.gate_count()
         );
     }
+
+    // Rediscover the optimal 8-sorter live with the parallel search
+    // driver: restarts sharded over all cores, stopping at the known
+    // optimal size. The result is deterministic for the fixed master seed,
+    // whatever the worker count.
+    let mut config = ParallelSearchConfig::new(8, 7);
+    config.space = SearchSpace::Saturated;
+    config.iterations = 150_000;
+    config.restarts = 8;
+    config.master_seed = 2018;
+    config.workers = 0; // auto: one worker per available core
+    config.stop_at_size = Some(19);
+    let rediscovered = parallel_search(&config)?.expect("8-sorter within budget");
+    zero_one_verify(&rediscovered)?;
+    println!(
+        "\nparallel search rediscovered an 8-sorter: {} comparators, depth {} \
+         (best known: {}/{})",
+        rediscovered.size(),
+        rediscovered.depth(),
+        OPTIMAL_SIZES[7],
+        OPTIMAL_DEPTHS[7],
+    );
 
     // Export the 2-sort(4) for inspection with Graphviz or an EDA flow.
     let dir = std::path::Path::new("target/explorer");
