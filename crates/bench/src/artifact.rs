@@ -1,0 +1,219 @@
+//! Artifact cache plumbing for the bench binaries: load/save networks and
+//! netlists in any of the repo's serialisation formats, **re-verifying on
+//! every load** so a cache can never silently serve a wrong artifact.
+//!
+//! Formats are sniffed by content, not trusted from the file name:
+//!
+//! * `MCSN…` / `mcs-network v…` — network artifact (binary / text), see
+//!   [`mcs_networks::io::NetworkArtifact`].
+//! * `MCSB…` / `mcs-netlist v…` — netlist artifact (binary / text), see
+//!   [`mcs_netlist::serdes`].
+//! * `module …` — structural Verilog, re-imported through
+//!   [`mcs_netlist::export::from_verilog`].
+//!
+//! On save the format follows the extension: `.mcsnb`/`.mcsnlb` binary,
+//! `.v` Verilog, `.dot` Graphviz, anything else the text artifact form.
+
+use std::fmt;
+use std::path::Path;
+
+use mcs_netlist::export::{from_verilog, to_dot, to_verilog, VerilogImportError};
+use mcs_netlist::serdes::{self, SerdesError};
+use mcs_netlist::Netlist;
+use mcs_networks::io::{NetworkArtifact, NetworkArtifactError};
+
+/// Error from the artifact cache helpers.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// Filesystem failure (path included in the message).
+    Io(String),
+    /// The bytes are none of the known artifact formats.
+    UnknownFormat,
+    /// A network artifact that fails to load or re-verify.
+    Network(NetworkArtifactError),
+    /// A netlist artifact that fails to load.
+    Netlist(SerdesError),
+    /// A Verilog source that fails to re-import.
+    Verilog(VerilogImportError),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Io(m) => write!(f, "{m}"),
+            ArtifactError::UnknownFormat => {
+                write!(f, "not a recognised artifact format")
+            }
+            ArtifactError::Network(e) => write!(f, "network artifact: {e}"),
+            ArtifactError::Netlist(e) => write!(f, "netlist artifact: {e}"),
+            ArtifactError::Verilog(e) => write!(f, "verilog import: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+impl From<NetworkArtifactError> for ArtifactError {
+    fn from(e: NetworkArtifactError) -> Self {
+        ArtifactError::Network(e)
+    }
+}
+
+impl From<SerdesError> for ArtifactError {
+    fn from(e: SerdesError) -> Self {
+        ArtifactError::Netlist(e)
+    }
+}
+
+impl From<VerilogImportError> for ArtifactError {
+    fn from(e: VerilogImportError) -> Self {
+        ArtifactError::Verilog(e)
+    }
+}
+
+fn read(path: &Path) -> Result<Vec<u8>, ArtifactError> {
+    std::fs::read(path)
+        .map_err(|e| ArtifactError::Io(format!("cannot read {}: {e}", path.display())))
+}
+
+fn write(path: &Path, bytes: &[u8]) -> Result<(), ArtifactError> {
+    std::fs::write(path, bytes)
+        .map_err(|e| ArtifactError::Io(format!("cannot write {}: {e}", path.display())))
+}
+
+/// Loads a cached network artifact (text or binary, sniffed by magic) and
+/// **re-verifies** it with the 0-1 principle before handing it out.
+///
+/// # Errors
+///
+/// Any load or verification failure; a non-sorting artifact never escapes.
+pub fn load_network(path: &Path) -> Result<NetworkArtifact, ArtifactError> {
+    let artifact = NetworkArtifact::from_slice(&read(path)?)?;
+    artifact.reverify()?;
+    Ok(artifact)
+}
+
+/// Saves a network artifact; `.mcsnb` selects the binary form, anything
+/// else the text form.
+///
+/// # Errors
+///
+/// Filesystem failures only — the formats carry every network.
+pub fn save_network(path: &Path, artifact: &NetworkArtifact) -> Result<(), ArtifactError> {
+    if path.extension().is_some_and(|e| e == "mcsnb") {
+        write(path, &artifact.to_bytes())
+    } else {
+        write(path, artifact.to_text().as_bytes())
+    }
+}
+
+/// Loads a cached netlist from any supported format: the text or binary
+/// netlist artifact, or structural Verilog (re-imported).
+///
+/// Structural validity (node references, header figures) is re-checked by
+/// the loaders; semantic re-verification is the caller's policy — see
+/// `synth_circuit`'s 0-1 check for the sorting-circuit case.
+///
+/// # Errors
+///
+/// Any load failure, or [`ArtifactError::UnknownFormat`] when the bytes
+/// match no known magic.
+pub fn load_netlist(path: &Path) -> Result<Netlist, ArtifactError> {
+    let bytes = read(path)?;
+    if bytes.starts_with(mcs_netlist::serdes::BINARY_MAGIC) {
+        return Ok(serdes::from_bytes(&bytes)?);
+    }
+    let text = std::str::from_utf8(&bytes).map_err(|_| ArtifactError::UnknownFormat)?;
+    if text.starts_with(mcs_netlist::serdes::TEXT_MAGIC) {
+        return Ok(serdes::from_text(text)?);
+    }
+    if text.trim_start().starts_with("module ") {
+        return Ok(from_verilog(text)?);
+    }
+    Err(ArtifactError::UnknownFormat)
+}
+
+/// Saves a netlist; the extension picks the format: `.v` structural
+/// Verilog, `.dot` Graphviz, `.mcsnlb` the binary artifact, anything else
+/// the text artifact.
+///
+/// # Errors
+///
+/// Filesystem failures, or a name the artifact formats cannot carry.
+pub fn save_netlist(path: &Path, netlist: &Netlist) -> Result<(), ArtifactError> {
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("v") => write(path, to_verilog(netlist).as_bytes()),
+        Some("dot") => write(path, to_dot(netlist).as_bytes()),
+        Some("mcsnlb") => write(path, &serdes::to_bytes(netlist)?),
+        _ => write(path, serdes::to_text(netlist)?.as_bytes()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_networks::optimal::best_size;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("mcs-artifact-tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn network_cache_roundtrips_in_both_forms() {
+        let artifact = NetworkArtifact::new(best_size(6).unwrap(), 11);
+        for name in ["net.mcsn", "net.mcsnb"] {
+            let path = temp_path(name);
+            save_network(&path, &artifact).unwrap();
+            let back = load_network(&path).unwrap();
+            assert_eq!(back, artifact, "{name}");
+        }
+    }
+
+    #[test]
+    fn corrupt_network_cache_entries_are_refused() {
+        let path = temp_path("corrupt.mcsn");
+        // A syntactically valid artifact that does not sort: the loader
+        // must refuse it at re-verification, not hand it out.
+        std::fs::write(
+            &path,
+            "mcs-network v1\nchannels 3\nsize 1\ndepth 1\nseed 0\n(0,1)\nend\n",
+        )
+        .unwrap();
+        assert!(matches!(
+            load_network(&path),
+            Err(ArtifactError::Network(NetworkArtifactError::NotASorter { .. }))
+        ));
+        std::fs::write(&path, "garbage").unwrap();
+        assert!(load_network(&path).is_err());
+    }
+
+    #[test]
+    fn netlist_cache_roundtrips_in_all_forms() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        let f = n.nand2(a, b);
+        n.set_output("f", f);
+        for name in ["n.mcsnl", "n.mcsnlb", "n.v"] {
+            let path = temp_path(name);
+            save_netlist(&path, &n).unwrap();
+            let back = load_netlist(&path).unwrap();
+            assert_eq!(back.gate_count(), n.gate_count(), "{name}");
+            use mcs_logic::Trit;
+            for x in Trit::ALL {
+                for y in Trit::ALL {
+                    assert_eq!(back.eval(&[x, y]), n.eval(&[x, y]), "{name}");
+                }
+            }
+        }
+        // DOT is write-only: loading it back reports an unknown format.
+        let dot = temp_path("n.dot");
+        save_netlist(&dot, &n).unwrap();
+        assert!(matches!(
+            load_netlist(&dot),
+            Err(ArtifactError::UnknownFormat)
+        ));
+    }
+}

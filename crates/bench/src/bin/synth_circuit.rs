@@ -1,0 +1,214 @@
+//! Synthesis driver: comparator network × 2-sort flavour → a complete
+//! gate-level MC sorting circuit, re-verified, measured, and cached as a
+//! netlist artifact.
+//!
+//! Usage:
+//!
+//! ```text
+//! synth_circuit [--channels N] [--width B] [--flavor paper|bund2017|serial2016|bincomp]
+//!               [--network <network artifact>] [--save <path>]
+//! synth_circuit --load <path> [--channels N] [--width B] [--save <path>]
+//! ```
+//!
+//! The network comes from the best-known optimal tables (`--channels`,
+//! n ≤ 10) or — the cache path — from a `find_network --save` artifact via
+//! `--network`, re-verified with the 0-1 principle on load instead of
+//! being re-searched. The instantiated circuit is then re-verified at gate
+//! level (every 0-1 channel pattern must sort), measured under the
+//! calibrated technology model, and optionally written with `--save`; the
+//! extension picks the format (`.mcsnl` text artifact, `.mcsnlb` binary,
+//! `.v` structural Verilog, `.dot` Graphviz).
+//!
+//! `--load` reverses the trip: a cached netlist artifact (any loadable
+//! format, including Verilog) is loaded, re-verified at gate level against
+//! `--channels`/`--width`, measured, and optionally re-exported through
+//! `--save` — so the binary doubles as a format converter
+//! (`--load c.mcsnl --save c.v`).
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use mcs_bench::artifact::{load_netlist, load_network, save_netlist};
+use mcs_bench::{format_row, measure, print_header};
+use mcs_logic::{Trit, TritBlock};
+use mcs_netlist::mc::assert_mc_cells_only;
+use mcs_netlist::{Netlist, TechLibrary};
+use mcs_networks::circuit::{build_sorting_circuit, TwoSortFlavor};
+use mcs_networks::io::NetworkArtifact;
+use mcs_networks::optimal::best_size;
+
+/// Largest channel count the gate-level 0-1 sweep enumerates (2^n lanes).
+const MAX_CHECK_CHANNELS: usize = 20;
+
+/// Gate-level 0-1-principle re-verification: every 0-1 channel pattern
+/// (channel value replicated across its B bits — the rank-0 and rank-max
+/// valid strings) must leave the circuit sorted ascending. One
+/// `eval_block` call over all 2^n patterns.
+fn zero_one_circuit_check(
+    netlist: &Netlist,
+    channels: usize,
+    width: usize,
+) -> Result<(), String> {
+    if channels > MAX_CHECK_CHANNELS {
+        return Err(format!(
+            "{channels} channels exceed the exhaustive 0-1 bound of {MAX_CHECK_CHANNELS}"
+        ));
+    }
+    if netlist.input_count() != channels * width
+        || netlist.output_count() != channels * width
+    {
+        return Err(format!(
+            "port counts ({} in / {} out) disagree with {channels} channels × {width} bits",
+            netlist.input_count(),
+            netlist.output_count()
+        ));
+    }
+    let lanes = 1usize << channels;
+    let inputs: Vec<TritBlock> = (0..channels * width)
+        .map(|port| {
+            let c = port / width;
+            TritBlock::from_lanes(
+                &(0..lanes)
+                    .map(|m| Trit::from((m >> c) & 1 == 1))
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    let out = netlist.eval_block(&inputs);
+    for m in 0..lanes {
+        let ones = (m as u64).count_ones() as usize;
+        for c in 0..channels {
+            // Ascending: the `ones` maxima land on the top channels.
+            let want = Trit::from(c >= channels - ones);
+            for b in 0..width {
+                let got = out[c * width + b].lane(m);
+                if got != want {
+                    return Err(format!(
+                        "0-1 pattern {m:#b}: out{c}_b{b} = {got}, want {want}"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn fail(msg: impl std::fmt::Display) -> ExitCode {
+    eprintln!("synth_circuit: {msg}");
+    ExitCode::from(1)
+}
+
+fn main() -> ExitCode {
+    let mut channels = 4usize;
+    let mut width = 2usize;
+    let mut flavor = TwoSortFlavor::Paper;
+    let mut network_path: Option<String> = None;
+    let mut save: Option<String> = None;
+    let mut load_path: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        let result: Result<(), String> = match arg.as_str() {
+            "--channels" => value("--channels").and_then(|v| {
+                v.parse().map(|n| channels = n).map_err(|e| format!("--channels: {e}"))
+            }),
+            "--width" => value("--width").and_then(|v| {
+                v.parse().map(|w| width = w).map_err(|e| format!("--width: {e}"))
+            }),
+            "--flavor" => value("--flavor").and_then(|v| match v.as_str() {
+                "paper" => {
+                    flavor = TwoSortFlavor::Paper;
+                    Ok(())
+                }
+                "bund2017" => {
+                    flavor = TwoSortFlavor::Bund2017;
+                    Ok(())
+                }
+                "serial2016" => {
+                    flavor = TwoSortFlavor::Serial2016;
+                    Ok(())
+                }
+                "bincomp" => {
+                    flavor = TwoSortFlavor::BinComp;
+                    Ok(())
+                }
+                other => Err(format!("unknown flavor {other:?}")),
+            }),
+            "--network" => value("--network").map(|v| network_path = Some(v)),
+            "--save" => value("--save").map(|v| save = Some(v)),
+            "--load" => value("--load").map(|v| load_path = Some(v)),
+            other => Err(format!("unknown argument {other:?}")),
+        };
+        if let Err(e) = result {
+            return fail(e);
+        }
+    }
+    if width == 0 || width > 63 {
+        return fail("--width must be in 1..=63");
+    }
+
+    let lib = TechLibrary::paper_calibrated();
+    let netlist = if let Some(path) = load_path {
+        // Cache hit: load, then re-verify at gate level before trusting it.
+        let netlist = match load_netlist(Path::new(&path)) {
+            Ok(n) => n,
+            Err(e) => return fail(e),
+        };
+        if let Err(e) = zero_one_circuit_check(&netlist, channels, width) {
+            return fail(format!("{path}: re-verification failed: {e}"));
+        }
+        eprintln!("loaded and re-verified {path}: {netlist}");
+        netlist
+    } else {
+        let artifact: NetworkArtifact = if let Some(path) = network_path {
+            // The cache path: a searched network is loaded (and re-verified
+            // by the loader) instead of being re-searched.
+            match load_network(Path::new(&path)) {
+                Ok(a) => {
+                    eprintln!(
+                        "loaded cached network {path}: {} (seed {})",
+                        a.network, a.master_seed
+                    );
+                    channels = a.network.channels();
+                    a
+                }
+                Err(e) => return fail(e),
+            }
+        } else {
+            match best_size(channels) {
+                Some(net) => NetworkArtifact::new(net, 0),
+                None => {
+                    return fail(format!(
+                        "no optimal table for {channels} channels; pass --network <artifact>"
+                    ))
+                }
+            }
+        };
+        let netlist = build_sorting_circuit(&artifact.network, width, flavor);
+        if flavor != TwoSortFlavor::BinComp {
+            // MC flavours must stay within the certified cell set.
+            if let Err(e) = assert_mc_cells_only(&netlist) {
+                return fail(format!("uncertified cell in MC flavour: {e}"));
+            }
+        }
+        if let Err(e) = zero_one_circuit_check(&netlist, channels, width) {
+            return fail(format!("instantiated circuit fails 0-1 check: {e}"));
+        }
+        netlist
+    };
+
+    print_header(&format!("{channels}-channel × {width}-bit sorting circuit"));
+    println!("{}", format_row(netlist.name(), &measure(&netlist, &lib)));
+
+    if let Some(path) = save {
+        if let Err(e) = save_netlist(Path::new(&path), &netlist) {
+            return fail(e);
+        }
+        eprintln!("saved netlist artifact to {path}");
+    }
+    ExitCode::SUCCESS
+}

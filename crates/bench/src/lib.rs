@@ -9,6 +9,10 @@
 //!   (4-sort, 7-sort, 10-sort#, 10-sortd) × B ∈ {2, 4, 8, 16} × designs.
 //! * `ablation_prefix` — prefix-topology ablation (not in the paper):
 //!   Ladner–Fischer vs serial vs Sklansky vs unshared recursion.
+//! * `synth_circuit` — synthesis driver: network (optimal table or a
+//!   cached `find_network --save` artifact via `--network`) × 2-sort
+//!   flavour → full gate-level netlist, re-verified, measured, and
+//!   saved/loaded as netlist artifacts (`--save`/`--load`).
 //!
 //! The Criterion benches (`cargo bench -p mcs-bench`) time the same
 //! construction + analysis pipelines and the gate-level simulator.
@@ -17,6 +21,7 @@
 //! `mcs-netlist`; gate counts are exact (see `EXPERIMENTS.md` for
 //! paper-vs-measured tables).
 
+pub mod artifact;
 pub mod published;
 
 use mcs_netlist::{AreaReport, Netlist, TechLibrary, TimingReport};

@@ -19,7 +19,10 @@
 //! * [`mc`] — metastability-containment checks: cell certification and
 //!   exhaustive verification that a circuit computes the metastable closure
 //!   of its boolean function.
-//! * [`export`] — Graphviz DOT and structural Verilog writers.
+//! * [`export`] — Graphviz DOT and structural Verilog writers, plus a
+//!   Verilog importer closing the loop back to a [`Netlist`].
+//! * [`serdes`] — the versioned netlist artifact format (diffable text and
+//!   length-prefixed binary) with byte-identical save/load round-trip.
 //!
 //! # Simulation tiers
 //!
@@ -103,6 +106,7 @@ pub mod gate;
 pub mod hazard;
 pub mod mc;
 pub mod netlist;
+pub mod serdes;
 pub mod synth;
 pub mod tech;
 pub mod timing;

@@ -32,7 +32,7 @@ use crate::gate::{CellKind, Gate, NodeId};
 /// assert_eq!(n.gate_count(), 5);
 /// assert_eq!(n.eval(&[Trit::One, Trit::Zero]), vec![Trit::One]);
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Eq, PartialEq, Debug)]
 pub struct Netlist {
     name: String,
     gates: Vec<Gate>,

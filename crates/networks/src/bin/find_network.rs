@@ -1,33 +1,179 @@
 //! Offline search driver: rediscovers depth-optimal sorting networks.
 //!
-//! Usage: `find_network <channels> <max_depth> [target_size] [seconds] [seed] [workers]`
+//! Usage:
+//!
+//! ```text
+//! find_network <channels> <max_depth> [target_size] [seconds] [seed] [workers]
+//!              [--save <path>]
+//! find_network --load <path>
+//! ```
 //!
 //! Runs the parallel simulated-annealing driver of `mcs_networks::search`:
 //! independent restarts, seeded from the master seed, are sharded across
 //! worker threads (0 = one per available core) under a wall-clock budget,
-//! printing every improvement of the shared best-so-far and finally the
-//! best network found as a Rust array literal ready to pin into
-//! `optimal.rs`. Because the run is wall-clock-capped, restarts are
-//! truncated at timing-dependent points: unlike a pure iteration-budget
-//! run, two invocations may return different (equally valid) networks.
+//! printing every improvement of the shared best-so-far to stderr. Because
+//! the run is wall-clock-capped, restarts are truncated at
+//! timing-dependent points: unlike a pure iteration-budget run, two
+//! invocations may return different (equally valid) networks.
+//!
+//! The result is reported on stdout as a **network artifact**
+//! (`mcs_networks::io::NetworkArtifact` text form) — the exact bytes
+//! `--save` writes, so `find_network … > net.mcsn` and
+//! `find_network … --save net.mcsn` produce the same cacheable file. The
+//! header carries the format version, channels, size, depth and the master
+//! seed for review diffs; a Rust array literal (for pinning into
+//! `optimal.rs`) goes to stderr.
+//!
+//! `--load` closes the cache loop: the artifact (text or binary, sniffed
+//! by magic) is loaded, **re-verified** with the 0-1 principle, and
+//! re-emitted through the same writer — a cache can never silently serve a
+//! non-sorting network.
 
+use std::process::ExitCode;
 use std::sync::Mutex;
 use std::time::Duration;
 
+use mcs_networks::io::NetworkArtifact;
 use mcs_networks::search::{
     parallel_search_with_progress, ParallelSearchConfig, SearchSpace,
 };
-use mcs_networks::verify::zero_one_verify;
 use mcs_networks::Network;
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let channels: usize = args.get(1).map(|s| s.parse().unwrap()).unwrap_or(9);
-    let max_depth: usize = args.get(2).map(|s| s.parse().unwrap()).unwrap_or(7);
-    let target_size: usize = args.get(3).map(|s| s.parse().unwrap()).unwrap_or(0);
-    let seconds: u64 = args.get(4).map(|s| s.parse().unwrap()).unwrap_or(60);
-    let seed: u64 = args.get(5).map(|s| s.parse().unwrap()).unwrap_or(1);
-    let workers: usize = args.get(6).map(|s| s.parse().unwrap()).unwrap_or(0);
+/// Prints the artifact through the single shared formatting path: the
+/// stdout report **is** the artifact text, and `--save` writes the same
+/// bytes (binary when the path ends in `.mcsnb`).
+fn report(artifact: &NetworkArtifact, save: Option<&str>) -> ExitCode {
+    let text = artifact.to_text();
+    print!("{text}");
+    if let Some(path) = save {
+        let result = if path.ends_with(".mcsnb") {
+            std::fs::write(path, artifact.to_bytes())
+        } else {
+            std::fs::write(path, text.as_bytes())
+        };
+        if let Err(e) = result {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::from(3);
+        }
+        eprintln!("saved artifact to {path}");
+    }
+    let net = &artifact.network;
+    let pairs: Vec<String> = net
+        .comparators()
+        .iter()
+        .map(|c| format!("({}, {})", c.lo(), c.hi()))
+        .collect();
+    eprintln!(
+        "// {}-channel, depth {}, {} comparators",
+        net.channels(),
+        net.depth(),
+        net.size()
+    );
+    eprintln!("[{}]", pairs.join(", "));
+    ExitCode::SUCCESS
+}
+
+/// Loads an artifact (text or binary, sniffed by magic), re-verifies it,
+/// and re-reports it through the shared writer.
+fn load(path: &str, save: Option<&str>) -> ExitCode {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    let artifact = match NetworkArtifact::from_slice(&bytes) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    // The cache contract: nothing leaves the loader unverified.
+    if let Err(e) = artifact.reverify() {
+        eprintln!("{path}: {e}");
+        return ExitCode::from(4);
+    }
+    eprintln!(
+        "loaded and re-verified {path}: {} (seed {})",
+        artifact.network, artifact.master_seed
+    );
+    report(&artifact, save)
+}
+
+fn main() -> ExitCode {
+    // Flags may appear anywhere; positional args keep their order.
+    let mut positional: Vec<String> = Vec::new();
+    let mut save: Option<String> = None;
+    let mut load_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--save" => match args.next() {
+                Some(p) => save = Some(p),
+                None => {
+                    eprintln!("--save needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--load" => match args.next() {
+                Some(p) => load_path = Some(p),
+                None => {
+                    eprintln!("--load needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other if other.starts_with("--") => {
+                eprintln!(
+                    "unknown flag {other:?}\nusage: find_network <channels> \
+                     <max_depth> [target_size] [seconds] [seed] [workers] \
+                     [--save <path>] | find_network --load <path>"
+                );
+                return ExitCode::from(2);
+            }
+            _ => positional.push(arg),
+        }
+    }
+    if let Some(path) = load_path {
+        return load(&path, save.as_deref());
+    }
+
+    // Positional args, all unsigned integers; a typo is a usage error, not
+    // a panic.
+    fn numeric<T: std::str::FromStr>(
+        positional: &[String],
+        index: usize,
+        name: &str,
+        default: T,
+    ) -> Result<T, String> {
+        match positional.get(index) {
+            None => Ok(default),
+            Some(s) => s
+                .parse()
+                .map_err(|_| format!("{name} must be an unsigned integer, got {s:?}")),
+        }
+    }
+    let parsed = (|| -> Result<(usize, usize, usize, u64, u64, usize), String> {
+        if positional.len() > 6 {
+            return Err(format!("too many arguments: {:?}", &positional[6..]));
+        }
+        Ok((
+            numeric(&positional, 0, "channels", 9)?,
+            numeric(&positional, 1, "max_depth", 7)?,
+            numeric(&positional, 2, "target_size", 0)?,
+            numeric(&positional, 3, "seconds", 60)?,
+            numeric(&positional, 4, "seed", 1)?,
+            numeric(&positional, 5, "workers", 0)?,
+        ))
+    })();
+    let (channels, max_depth, target_size, seconds, seed, workers) = match parsed {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
 
     let mut config = ParallelSearchConfig::new(channels, max_depth);
     config.iterations = 2_000_000;
@@ -64,28 +210,19 @@ fn main() {
 
     match found {
         Ok(Some(net)) => {
-            assert!(zero_one_verify(&net).is_ok());
             assert!(net.depth() <= max_depth);
-            println!(
-                "// {}-channel, depth {}, {} comparators",
-                channels,
-                net.depth(),
-                net.size()
-            );
-            let pairs: Vec<String> = net
-                .comparators()
-                .iter()
-                .map(|c| format!("({}, {})", c.lo(), c.hi()))
-                .collect();
-            println!("[{}]", pairs.join(", "));
+            let artifact = NetworkArtifact::new(net, seed);
+            // The same re-verification gate the cache loader applies.
+            artifact.reverify().expect("searched network must sort");
+            report(&artifact, save.as_deref())
         }
         Ok(None) => {
             eprintln!("no sorter found within budget");
-            std::process::exit(1);
+            ExitCode::from(1)
         }
         Err(e) => {
             eprintln!("invalid search configuration: {e}");
-            std::process::exit(2);
+            ExitCode::from(2)
         }
     }
 }

@@ -1,20 +1,53 @@
-//! Text serialisation of comparator networks, in the de-facto standard
-//! notation used by sorting-network tools and papers:
+//! Text serialisation of comparator networks.
+//!
+//! Two layers:
+//!
+//! 1. The de-facto standard notation used by sorting-network tools and
+//!    papers ([`to_layer_string`] / [`parse_network`]):
+//!
+//!    ```text
+//!    [(0,1),(2,3)],[(0,2),(1,3)],[(1,2)]
+//!    ```
+//!
+//!    Layers are bracketed groups of `(lo,hi)` pairs; whitespace is
+//!    ignored. A flat list without layer brackets is also accepted (each
+//!    comparator then forms its own sequential step; greedy relayering
+//!    recovers the parallel structure).
+//!
+//! 2. The versioned **artifact format** ([`NetworkArtifact`]) used to cache
+//!    searched networks across runs: a header carrying the format version,
+//!    channel count, size, depth and the master seed that found the
+//!    network, followed by one comparator per line in execution order —
+//!    diffable in review, byte-identical under `save → load → save`. A
+//!    length-prefixed binary variant ([`NetworkArtifact::to_bytes`]) serves
+//!    caches where size matters. Loaders recompute every header figure and
+//!    reject artifacts on any mismatch, and [`NetworkArtifact::reverify`]
+//!    re-runs 0-1-principle verification so a cache can never silently
+//!    serve a non-sorting network.
 //!
 //! ```text
-//! [(0,1),(2,3)],[(0,2),(1,3)],[(1,2)]
+//! mcs-network v1
+//! channels 4
+//! size 5
+//! depth 3
+//! seed 2018
+//! (0,1)
+//! (2,3)
+//! (0,2)
+//! (1,3)
+//! (1,2)
+//! end
 //! ```
 //!
-//! Layers are bracketed groups of `(lo,hi)` pairs; whitespace is ignored.
-//! A flat list without layer brackets is also accepted (each comparator
-//! then forms its own sequential step; greedy relayering recovers the
-//! parallel structure).
+//! The version is bumped on any incompatible change; unknown versions are
+//! rejected, never guessed at.
 
 use std::error::Error;
 use std::fmt;
 use std::str::FromStr;
 
 use crate::comparator::Network;
+use crate::verify::{zero_one_verify, SortFailure};
 
 /// Formats a network in layered notation (greedy ASAP layers).
 ///
@@ -118,11 +151,444 @@ impl FromStr for Network {
     }
 }
 
+// ---------------------------------------------------------------------------
+// The versioned network artifact format
+// ---------------------------------------------------------------------------
+
+/// Format version written by this module and the only one it accepts.
+pub const ARTIFACT_VERSION: u32 = 1;
+
+/// Magic first line of the text artifact (followed by ` v<version>`).
+pub const ARTIFACT_TEXT_MAGIC: &str = "mcs-network";
+
+/// Magic prefix of the binary artifact.
+pub const ARTIFACT_BINARY_MAGIC: &[u8; 4] = b"MCSN";
+
+/// The largest channel count [`NetworkArtifact::reverify`] will check
+/// exhaustively (2^n 0-1 inputs; matches [`zero_one_verify`]'s bound).
+pub const MAX_VERIFY_CHANNELS: usize = 24;
+
+/// A comparator network plus the provenance its cache entry carries: the
+/// master seed of the search that produced it (0 when unknown — e.g. a
+/// hand-written or generator-built network).
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub struct NetworkArtifact {
+    /// The network, comparators in execution order.
+    pub network: Network,
+    /// Master seed of the search run that found it (0 = not from a search).
+    pub master_seed: u64,
+}
+
+/// Error from the [`NetworkArtifact`] loaders and [`NetworkArtifact::reverify`].
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub enum NetworkArtifactError {
+    /// Input ended before the structure was complete.
+    Truncated {
+        /// What the loader was reading when the input ran out.
+        context: &'static str,
+    },
+    /// The magic tag is not this format's.
+    BadMagic,
+    /// The format version is not [`ARTIFACT_VERSION`].
+    UnsupportedVersion {
+        /// The version found in the artifact.
+        found: u32,
+    },
+    /// A header line that does not parse.
+    Header {
+        /// 1-based line number (0 for binary artifacts).
+        line: usize,
+        /// Human-readable description.
+        detail: String,
+    },
+    /// A comparator that does not parse or is not standard form.
+    Comparator {
+        /// 1-based line number (0 for binary artifacts).
+        line: usize,
+        /// Human-readable description.
+        detail: String,
+    },
+    /// A comparator channel at or beyond the declared channel count.
+    ChannelOutOfRange {
+        /// 1-based line number (0 for binary artifacts).
+        line: usize,
+        /// The offending channel.
+        channel: usize,
+        /// The declared channel count.
+        channels: usize,
+    },
+    /// A header figure that disagrees with the reconstructed network.
+    CountMismatch {
+        /// Which header field.
+        field: &'static str,
+        /// Value claimed by the header.
+        header: u64,
+        /// Value recomputed from the body.
+        actual: u64,
+    },
+    /// Bytes after the end of the structure (binary only).
+    TrailingBytes {
+        /// How many bytes were left over.
+        count: usize,
+    },
+    /// Re-verification found a 0-1 input the network does not sort.
+    NotASorter {
+        /// The failing input.
+        failure: SortFailure,
+    },
+    /// The network is too wide for exhaustive 0-1 re-verification.
+    TooWideToVerify {
+        /// The channel count.
+        channels: usize,
+    },
+}
+
+impl fmt::Display for NetworkArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkArtifactError::Truncated { context } => {
+                write!(f, "truncated artifact while reading {context}")
+            }
+            NetworkArtifactError::BadMagic => {
+                write!(f, "not an mcs-network artifact")
+            }
+            NetworkArtifactError::UnsupportedVersion { found } => write!(
+                f,
+                "unsupported format version {found} (this build reads v{ARTIFACT_VERSION})"
+            ),
+            NetworkArtifactError::Header { line, detail } => {
+                write!(f, "line {line}: {detail}")
+            }
+            NetworkArtifactError::Comparator { line, detail } => {
+                write!(f, "line {line}: {detail}")
+            }
+            NetworkArtifactError::ChannelOutOfRange { line, channel, channels } => {
+                write!(
+                    f,
+                    "line {line}: channel {channel} out of range for {channels} channels"
+                )
+            }
+            NetworkArtifactError::CountMismatch { field, header, actual } => {
+                write!(f, "header claims {field} {header} but the body has {actual}")
+            }
+            NetworkArtifactError::TrailingBytes { count } => {
+                write!(f, "{count} trailing bytes after the artifact")
+            }
+            NetworkArtifactError::NotASorter { failure } => {
+                write!(f, "artifact does not sort: {failure}")
+            }
+            NetworkArtifactError::TooWideToVerify { channels } => write!(
+                f,
+                "{channels} channels exceed the exhaustive 0-1 bound of {MAX_VERIFY_CHANNELS}"
+            ),
+        }
+    }
+}
+
+impl Error for NetworkArtifactError {}
+
+impl NetworkArtifact {
+    /// Wraps a network with the master seed that found it.
+    pub fn new(network: Network, master_seed: u64) -> NetworkArtifact {
+        NetworkArtifact {
+            network,
+            master_seed,
+        }
+    }
+
+    /// Serialises in the canonical text form (one comparator per line, in
+    /// execution order, under the versioned header). Byte-identical under
+    /// `save → load → save`.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("{ARTIFACT_TEXT_MAGIC} v{ARTIFACT_VERSION}\n"));
+        s.push_str(&format!("channels {}\n", self.network.channels()));
+        s.push_str(&format!("size {}\n", self.network.size()));
+        s.push_str(&format!("depth {}\n", self.network.depth()));
+        s.push_str(&format!("seed {}\n", self.master_seed));
+        for c in self.network.comparators() {
+            s.push_str(&format!("({},{})\n", c.lo(), c.hi()));
+        }
+        s.push_str("end\n");
+        s
+    }
+
+    /// Loads from the text form.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`NetworkArtifactError`]s on any malformed input; never
+    /// panics. Every header figure is recomputed and cross-checked.
+    pub fn from_text(text: &str) -> Result<NetworkArtifact, NetworkArtifactError> {
+        let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l.trim_end()));
+        let (_, magic) = lines.next().ok_or(NetworkArtifactError::Truncated {
+            context: "magic line",
+        })?;
+        let version_token = magic
+            .strip_prefix(ARTIFACT_TEXT_MAGIC)
+            .map(str::trim)
+            .ok_or(NetworkArtifactError::BadMagic)?;
+        let version: u32 = version_token
+            .strip_prefix('v')
+            .and_then(|v| v.parse().ok())
+            .ok_or(NetworkArtifactError::BadMagic)?;
+        if version != ARTIFACT_VERSION {
+            return Err(NetworkArtifactError::UnsupportedVersion { found: version });
+        }
+        let mut header_field = |key: &'static str| -> Result<u64, NetworkArtifactError> {
+            let (line, l) = lines.next().ok_or(NetworkArtifactError::Truncated {
+                context: "header",
+            })?;
+            let value = l
+                .strip_prefix(key)
+                .map(str::trim)
+                .filter(|v| !v.is_empty())
+                .ok_or_else(|| NetworkArtifactError::Header {
+                    line,
+                    detail: format!("expected `{key} <value>`, found {l:?}"),
+                })?;
+            value.parse().map_err(|_| NetworkArtifactError::Header {
+                line,
+                detail: format!("bad {key} value {value:?}"),
+            })
+        };
+        let channels_figure = header_field("channels")?;
+        let size = header_field("size")?;
+        let depth = header_field("depth")?;
+        let seed = header_field("seed")?;
+        // The same bounds the binary form enforces by construction (u16
+        // channel fields): a wider figure must be a typed error here, not
+        // a panic in `Comparator::new` or `to_bytes` later.
+        if channels_figure == 0 || channels_figure > u64::from(u16::MAX) {
+            return Err(NetworkArtifactError::Header {
+                line: 2,
+                detail: format!(
+                    "channel count {channels_figure} outside 1..={}",
+                    u16::MAX
+                ),
+            });
+        }
+        let channels = channels_figure as usize;
+        let mut network = Network::new(channels);
+        let mut saw_end = false;
+        for (line, l) in &mut lines {
+            if l == "end" {
+                saw_end = true;
+                break;
+            }
+            let body = l
+                .strip_prefix('(')
+                .and_then(|b| b.strip_suffix(')'))
+                .ok_or_else(|| NetworkArtifactError::Comparator {
+                    line,
+                    detail: format!("expected `(lo,hi)`, found {l:?}"),
+                })?;
+            let (a, b) = body.split_once(',').ok_or_else(|| {
+                NetworkArtifactError::Comparator {
+                    line,
+                    detail: format!("expected `lo,hi` in {body:?}"),
+                }
+            })?;
+            let parse = |t: &str| -> Result<usize, NetworkArtifactError> {
+                t.trim().parse().map_err(|_| NetworkArtifactError::Comparator {
+                    line,
+                    detail: format!("bad channel number {t:?}"),
+                })
+            };
+            let (lo, hi) = (parse(a)?, parse(b)?);
+            if lo >= hi {
+                return Err(NetworkArtifactError::Comparator {
+                    line,
+                    detail: format!("non-standard comparator ({lo},{hi})"),
+                });
+            }
+            if hi >= channels {
+                return Err(NetworkArtifactError::ChannelOutOfRange {
+                    line,
+                    channel: hi,
+                    channels,
+                });
+            }
+            network.push(lo, hi);
+        }
+        if !saw_end {
+            return Err(NetworkArtifactError::Truncated {
+                context: "body (missing `end`)",
+            });
+        }
+        // Like the binary form's TrailingBytes guard: a concatenated or
+        // corrupt cache entry must not half-load as its first artifact.
+        for (line, l) in lines {
+            if !l.trim().is_empty() {
+                return Err(NetworkArtifactError::Header {
+                    line,
+                    detail: format!("unexpected content after `end`: {l:?}"),
+                });
+            }
+        }
+        check_figures(&network, size, depth)?;
+        Ok(NetworkArtifact {
+            network,
+            master_seed: seed,
+        })
+    }
+
+    /// Loads from either form, sniffing the binary magic — the single
+    /// dispatch point for file-based loaders (`find_network --load`,
+    /// `mcs-bench`'s cache helpers).
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkArtifactError::BadMagic`] when the bytes are neither
+    /// form (including non-UTF-8 without the binary magic); otherwise
+    /// whatever the selected loader returns.
+    pub fn from_slice(bytes: &[u8]) -> Result<NetworkArtifact, NetworkArtifactError> {
+        if bytes.starts_with(ARTIFACT_BINARY_MAGIC) {
+            return NetworkArtifact::from_bytes(bytes);
+        }
+        let text =
+            std::str::from_utf8(bytes).map_err(|_| NetworkArtifactError::BadMagic)?;
+        NetworkArtifact::from_text(text)
+    }
+
+    /// Serialises in the length-prefixed binary form.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(ARTIFACT_BINARY_MAGIC);
+        out.extend_from_slice(&(ARTIFACT_VERSION as u16).to_le_bytes());
+        out.extend_from_slice(
+            &u16::try_from(self.network.channels())
+                .expect("channels fit u16")
+                .to_le_bytes(),
+        );
+        out.extend_from_slice(&self.master_seed.to_le_bytes());
+        out.extend_from_slice(&(self.network.size() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.network.depth() as u32).to_le_bytes());
+        for c in self.network.comparators() {
+            out.extend_from_slice(&(c.lo() as u16).to_le_bytes());
+            out.extend_from_slice(&(c.hi() as u16).to_le_bytes());
+        }
+        out
+    }
+
+    /// Loads from the binary form.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`NetworkArtifactError`]s; trailing bytes are an error, so a
+    /// corrupt cache entry cannot half-load.
+    pub fn from_bytes(bytes: &[u8]) -> Result<NetworkArtifact, NetworkArtifactError> {
+        let take = |pos: &mut usize, n: usize, context: &'static str| {
+            let end = pos
+                .checked_add(n)
+                .filter(|&e| e <= bytes.len())
+                .ok_or(NetworkArtifactError::Truncated { context })?;
+            let s = &bytes[*pos..end];
+            *pos = end;
+            Ok::<&[u8], NetworkArtifactError>(s)
+        };
+        let mut pos = 0usize;
+        if take(&mut pos, 4, "magic")? != ARTIFACT_BINARY_MAGIC {
+            return Err(NetworkArtifactError::BadMagic);
+        }
+        let b = take(&mut pos, 2, "version")?;
+        let version = u32::from(u16::from_le_bytes([b[0], b[1]]));
+        if version != ARTIFACT_VERSION {
+            return Err(NetworkArtifactError::UnsupportedVersion { found: version });
+        }
+        let b = take(&mut pos, 2, "channel count")?;
+        let channels = u16::from_le_bytes([b[0], b[1]]) as usize;
+        if channels == 0 {
+            return Err(NetworkArtifactError::Header {
+                line: 0,
+                detail: "network needs at least one channel".to_string(),
+            });
+        }
+        let b = take(&mut pos, 8, "seed")?;
+        let seed = u64::from_le_bytes(b.try_into().expect("8 bytes"));
+        let b = take(&mut pos, 4, "size")?;
+        let size = u64::from(u32::from_le_bytes(b.try_into().expect("4 bytes")));
+        let b = take(&mut pos, 4, "depth")?;
+        let depth = u64::from(u32::from_le_bytes(b.try_into().expect("4 bytes")));
+        let mut network = Network::new(channels);
+        for _ in 0..size {
+            let b = take(&mut pos, 4, "comparator")?;
+            let lo = u16::from_le_bytes([b[0], b[1]]) as usize;
+            let hi = u16::from_le_bytes([b[2], b[3]]) as usize;
+            if lo >= hi {
+                return Err(NetworkArtifactError::Comparator {
+                    line: 0,
+                    detail: format!("non-standard comparator ({lo},{hi})"),
+                });
+            }
+            if hi >= channels {
+                return Err(NetworkArtifactError::ChannelOutOfRange {
+                    line: 0,
+                    channel: hi,
+                    channels,
+                });
+            }
+            network.push(lo, hi);
+        }
+        if pos != bytes.len() {
+            return Err(NetworkArtifactError::TrailingBytes {
+                count: bytes.len() - pos,
+            });
+        }
+        check_figures(&network, size, depth)?;
+        Ok(NetworkArtifact {
+            network,
+            master_seed: seed,
+        })
+    }
+
+    /// Re-runs 0-1-principle verification on the loaded network — the
+    /// gatekeeper between a cache and its consumers: a cache can never
+    /// silently serve a non-sorting network.
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkArtifactError::NotASorter`] with the failing input, or
+    /// [`NetworkArtifactError::TooWideToVerify`] beyond
+    /// [`MAX_VERIFY_CHANNELS`] channels (instead of a 2^n blow-up).
+    pub fn reverify(&self) -> Result<(), NetworkArtifactError> {
+        if self.network.channels() > MAX_VERIFY_CHANNELS {
+            return Err(NetworkArtifactError::TooWideToVerify {
+                channels: self.network.channels(),
+            });
+        }
+        zero_one_verify(&self.network)
+            .map_err(|failure| NetworkArtifactError::NotASorter { failure })
+    }
+}
+
+/// Cross-checks the header's size/depth figures against the parsed body.
+fn check_figures(
+    network: &Network,
+    size: u64,
+    depth: u64,
+) -> Result<(), NetworkArtifactError> {
+    if size != network.size() as u64 {
+        return Err(NetworkArtifactError::CountMismatch {
+            field: "size",
+            header: size,
+            actual: network.size() as u64,
+        });
+    }
+    if depth != network.depth() as u64 {
+        return Err(NetworkArtifactError::CountMismatch {
+            field: "depth",
+            header: depth,
+            actual: network.depth() as u64,
+        });
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::optimal::{best_depth, best_size};
-    use crate::verify::zero_one_verify;
 
     #[test]
     fn roundtrip_all_optimal_networks() {
@@ -167,5 +633,220 @@ mod tests {
         let net = parse_network("", Some(4)).unwrap();
         assert_eq!(net.size(), 0);
         assert_eq!(net.channels(), 4);
+    }
+
+    #[test]
+    fn artifact_text_roundtrip_is_byte_identical() {
+        for n in 2..=10usize {
+            for net in [best_size(n).unwrap(), best_depth(n).unwrap()] {
+                let artifact = NetworkArtifact::new(net.clone(), 2018);
+                let text = artifact.to_text();
+                let back = NetworkArtifact::from_text(&text).unwrap();
+                assert_eq!(back, artifact, "n={n}");
+                assert_eq!(back.to_text(), text, "n={n}");
+                assert_eq!(back.network.comparators(), net.comparators());
+                assert!(back.reverify().is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn artifact_binary_roundtrip_is_byte_identical() {
+        for n in 2..=10usize {
+            let net = best_size(n).unwrap();
+            let artifact = NetworkArtifact::new(net, 77);
+            let bytes = artifact.to_bytes();
+            let back = NetworkArtifact::from_bytes(&bytes).unwrap();
+            assert_eq!(back, artifact, "n={n}");
+            assert_eq!(back.to_bytes(), bytes, "n={n}");
+        }
+    }
+
+    #[test]
+    fn artifact_text_matches_the_documented_example() {
+        let artifact = NetworkArtifact::new(
+            Network::from_pairs(4, [(0, 1), (2, 3), (0, 2), (1, 3), (1, 2)]),
+            2018,
+        );
+        assert_eq!(
+            artifact.to_text(),
+            "mcs-network v1\nchannels 4\nsize 5\ndepth 3\nseed 2018\n\
+             (0,1)\n(2,3)\n(0,2)\n(1,3)\n(1,2)\nend\n"
+        );
+    }
+
+    #[test]
+    fn artifact_truncation_and_magic_errors_are_typed() {
+        assert_eq!(
+            NetworkArtifact::from_text(""),
+            Err(NetworkArtifactError::Truncated { context: "magic line" })
+        );
+        assert_eq!(
+            NetworkArtifact::from_text("mcs-network v1\nchannels 4\n"),
+            Err(NetworkArtifactError::Truncated { context: "header" })
+        );
+        assert_eq!(
+            NetworkArtifact::from_text("garbage\n"),
+            Err(NetworkArtifactError::BadMagic)
+        );
+        assert_eq!(
+            NetworkArtifact::from_text(
+                "mcs-network v9\nchannels 2\nsize 0\ndepth 0\nseed 0\nend\n"
+            ),
+            Err(NetworkArtifactError::UnsupportedVersion { found: 9 })
+        );
+        // A body that never reaches `end`.
+        let full = NetworkArtifact::new(best_size(4).unwrap(), 1).to_text();
+        let cut = &full[..full.len() - "end\n".len()];
+        assert_eq!(
+            NetworkArtifact::from_text(cut),
+            Err(NetworkArtifactError::Truncated {
+                context: "body (missing `end`)"
+            })
+        );
+    }
+
+    #[test]
+    fn artifact_rejects_out_of_range_and_nonstandard_channels() {
+        let out = "mcs-network v1\nchannels 3\nsize 1\ndepth 1\nseed 0\n(0,5)\nend\n";
+        assert_eq!(
+            NetworkArtifact::from_text(out),
+            Err(NetworkArtifactError::ChannelOutOfRange {
+                line: 6,
+                channel: 5,
+                channels: 3
+            })
+        );
+        let nonstd = "mcs-network v1\nchannels 3\nsize 1\ndepth 1\nseed 0\n(2,1)\nend\n";
+        assert!(matches!(
+            NetworkArtifact::from_text(nonstd),
+            Err(NetworkArtifactError::Comparator { line: 6, .. })
+        ));
+        let zero = "mcs-network v1\nchannels 0\nsize 0\ndepth 0\nseed 0\nend\n";
+        assert!(matches!(
+            NetworkArtifact::from_text(zero),
+            Err(NetworkArtifactError::Header { .. })
+        ));
+    }
+
+    #[test]
+    fn artifact_rejects_oversized_channel_counts_without_panicking() {
+        // Channel figures beyond u16 (the binary form's bound) must be a
+        // typed error, not a downstream panic in Comparator::new/to_bytes.
+        let wide = "mcs-network v1\nchannels 70000\nsize 1\ndepth 1\nseed 0\n(0,69999)\nend\n";
+        assert!(matches!(
+            NetworkArtifact::from_text(wide),
+            Err(NetworkArtifactError::Header { line: 2, .. })
+        ));
+        let wide_empty = "mcs-network v1\nchannels 70000\nsize 0\ndepth 0\nseed 0\nend\n";
+        assert!(matches!(
+            NetworkArtifact::from_text(wide_empty),
+            Err(NetworkArtifactError::Header { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn artifact_rejects_trailing_content_after_end() {
+        let artifact = NetworkArtifact::new(best_size(4).unwrap(), 1);
+        // Concatenated cache entries must not half-load as the first one.
+        let doubled = artifact.to_text() + &artifact.to_text();
+        assert!(matches!(
+            NetworkArtifact::from_text(&doubled),
+            Err(NetworkArtifactError::Header { .. })
+        ));
+        // Trailing blank lines are fine (editors add them).
+        let padded = artifact.to_text() + "\n  \n";
+        assert_eq!(NetworkArtifact::from_text(&padded).unwrap(), artifact);
+    }
+
+    #[test]
+    fn from_slice_sniffs_both_forms() {
+        let artifact = NetworkArtifact::new(best_size(5).unwrap(), 9);
+        assert_eq!(
+            NetworkArtifact::from_slice(artifact.to_text().as_bytes()).unwrap(),
+            artifact
+        );
+        assert_eq!(
+            NetworkArtifact::from_slice(&artifact.to_bytes()).unwrap(),
+            artifact
+        );
+        assert_eq!(
+            NetworkArtifact::from_slice(b"\xff\xfe not an artifact"),
+            Err(NetworkArtifactError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn artifact_rejects_count_mismatches() {
+        let fewer = "mcs-network v1\nchannels 3\nsize 2\ndepth 1\nseed 0\n(0,1)\nend\n";
+        assert_eq!(
+            NetworkArtifact::from_text(fewer),
+            Err(NetworkArtifactError::CountMismatch {
+                field: "size",
+                header: 2,
+                actual: 1
+            })
+        );
+        let depth = "mcs-network v1\nchannels 3\nsize 2\ndepth 1\nseed 0\n(0,1)\n(0,1)\nend\n";
+        assert_eq!(
+            NetworkArtifact::from_text(depth),
+            Err(NetworkArtifactError::CountMismatch {
+                field: "depth",
+                header: 1,
+                actual: 2
+            })
+        );
+    }
+
+    #[test]
+    fn artifact_binary_truncation_and_trailing_bytes_are_typed() {
+        let bytes = NetworkArtifact::new(best_size(6).unwrap(), 3).to_bytes();
+        for cut in 0..bytes.len() {
+            let err = NetworkArtifact::from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    NetworkArtifactError::Truncated { .. } | NetworkArtifactError::BadMagic
+                ),
+                "prefix of {cut} bytes gave {err:?}"
+            );
+        }
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert_eq!(
+            NetworkArtifact::from_bytes(&extended),
+            Err(NetworkArtifactError::TrailingBytes { count: 1 })
+        );
+    }
+
+    #[test]
+    fn reverify_rejects_non_sorters_and_oversize_networks() {
+        // Two channels, no comparators: input 0b01 stays unsorted.
+        let bogus = NetworkArtifact::new(Network::new(2), 0);
+        assert!(matches!(
+            bogus.reverify(),
+            Err(NetworkArtifactError::NotASorter { .. })
+        ));
+        let wide = NetworkArtifact::new(Network::new(30), 0);
+        assert_eq!(
+            wide.reverify(),
+            Err(NetworkArtifactError::TooWideToVerify { channels: 30 })
+        );
+        assert!(NetworkArtifact::new(best_size(5).unwrap(), 0).reverify().is_ok());
+    }
+
+    #[test]
+    fn artifact_errors_display_usefully() {
+        let e = NetworkArtifactError::ChannelOutOfRange {
+            line: 6,
+            channel: 9,
+            channels: 4,
+        };
+        assert!(e.to_string().contains("channel 9"));
+        let e = NetworkArtifactError::UnsupportedVersion { found: 4 };
+        assert!(e.to_string().contains("version 4"));
+        let bogus = NetworkArtifact::new(Network::new(2), 0);
+        let e = bogus.reverify().unwrap_err();
+        assert!(e.to_string().contains("does not sort"));
     }
 }

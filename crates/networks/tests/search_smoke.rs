@@ -7,6 +7,7 @@
 
 use std::time::Instant;
 
+use mcs_networks::io::NetworkArtifact;
 use mcs_networks::optimal::OPTIMAL_SIZES;
 use mcs_networks::search::{parallel_search, ParallelSearchConfig, SearchSpace};
 use mcs_networks::verify::zero_one_verify;
@@ -44,5 +45,32 @@ fn rediscovers_the_optimal_eight_sorter() {
     // reproduce the identical network byte for byte.
     let mut resharded = smoke_config();
     resharded.workers = 2;
-    assert_eq!(parallel_search(&resharded).unwrap(), Some(net));
+    assert_eq!(parallel_search(&resharded).unwrap(), Some(net.clone()));
+
+    // The cache path, end to end: the found network is saved as an
+    // artifact (text and binary), reloaded, re-verified, and must come
+    // back byte-identical — so a later run can seed from the cache instead
+    // of re-searching. The CI job repeats this across processes with
+    // `find_network --save` / `--load`.
+    let artifact = NetworkArtifact::new(net, smoke_config().master_seed);
+    let dir = std::env::temp_dir().join("mcs-search-smoke");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let text_path = dir.join("eight_sort.mcsn");
+    let bin_path = dir.join("eight_sort.mcsnb");
+    std::fs::write(&text_path, artifact.to_text()).expect("save text");
+    std::fs::write(&bin_path, artifact.to_bytes()).expect("save binary");
+    let from_text = NetworkArtifact::from_text(
+        &std::fs::read_to_string(&text_path).expect("reload text"),
+    )
+    .expect("text artifact loads");
+    let from_bin =
+        NetworkArtifact::from_bytes(&std::fs::read(&bin_path).expect("reload binary"))
+            .expect("binary artifact loads");
+    for reloaded in [from_text, from_bin] {
+        reloaded.reverify().expect("cached network re-verifies");
+        assert_eq!(reloaded, artifact);
+        assert_eq!(reloaded.to_text(), artifact.to_text());
+        assert_eq!(reloaded.network.size(), 19);
+        assert_eq!(reloaded.master_seed, 2018);
+    }
 }

@@ -8,8 +8,10 @@
 use std::fs;
 
 use mcs::prelude::*;
-use mcs_netlist::export::{to_dot, to_verilog};
+use mcs_netlist::export::{from_verilog, to_dot, to_verilog};
+use mcs_netlist::serdes;
 use mcs_networks::generators::{batcher_odd_even, bitonic, insertion};
+use mcs_networks::io::NetworkArtifact;
 use mcs_networks::optimal::{best_depth, best_size, OPTIMAL_DEPTHS, OPTIMAL_SIZES};
 use mcs_networks::search::{parallel_search, ParallelSearchConfig, SearchSpace};
 use mcs_networks::verify::zero_one_verify;
@@ -88,9 +90,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         OPTIMAL_DEPTHS[7],
     );
 
-    // Export the 2-sort(4) for inspection with Graphviz or an EDA flow.
+    // Cache the rediscovered sorter as a network artifact: the header
+    // (version, channels, size, depth, master seed) makes it diffable, and
+    // the loader re-verifies it — the cache can't serve a non-sorter.
     let dir = std::path::Path::new("target/explorer");
     fs::create_dir_all(dir)?;
+    let artifact = NetworkArtifact::new(rediscovered, config.master_seed);
+    fs::write(dir.join("eight_sort.mcsn"), artifact.to_text())?;
+    let reloaded =
+        NetworkArtifact::from_text(&fs::read_to_string(dir.join("eight_sort.mcsn"))?)?;
+    reloaded.reverify()?;
+    assert_eq!(reloaded, artifact);
+    println!(
+        "cached + reloaded + re-verified: target/explorer/eight_sort.mcsn ({})",
+        reloaded.network
+    );
+
+    // Export the 2-sort(4) for inspection with Graphviz or an EDA flow.
     let two_sort = build_two_sort(4, PrefixTopology::LadnerFischer);
     fs::write(dir.join("two_sort_4.dot"), to_dot(&two_sort))?;
     fs::write(dir.join("two_sort_4.v"), to_verilog(&two_sort))?;
@@ -100,6 +116,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         TwoSortFlavor::Paper,
     );
     fs::write(dir.join("four_sort_2b.v"), to_verilog(&four_sort))?;
-    println!("\nexported: target/explorer/{{two_sort_4.dot, two_sort_4.v, four_sort_2b.v}}");
+    // The Verilog is an artifact too: re-import it and save the netlist in
+    // the native format for good measure.
+    let reimported = from_verilog(&fs::read_to_string(dir.join("four_sort_2b.v"))?)?;
+    assert_eq!(reimported.gate_count(), four_sort.gate_count());
+    fs::write(dir.join("four_sort_2b.mcsnl"), serdes::to_text(&four_sort)?)?;
+    assert_eq!(
+        serdes::from_text(&fs::read_to_string(dir.join("four_sort_2b.mcsnl"))?)?,
+        four_sort
+    );
+    println!(
+        "\nexported: target/explorer/{{two_sort_4.dot, two_sort_4.v, four_sort_2b.v, \
+         four_sort_2b.mcsnl, eight_sort.mcsn}}"
+    );
     Ok(())
 }
