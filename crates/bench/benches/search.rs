@@ -1,9 +1,9 @@
 //! Criterion bench for the parallel sorting-network search driver:
 //! time-to-first-sorter on the 10-channel instance as the worker count
-//! scales 1 → 2 → 4 → 8.
+//! scales 1 → 2 → 4 → 8, plus the warm-started resume path.
 //!
-//! One iteration runs the driver over a fixed pool of 16 restarts (seeds
-//! derived from a pinned master seed) until a sorter of at most 31
+//! One cold iteration runs the driver over a fixed pool of 16 restarts
+//! (seeds derived from a pinned master seed) until a sorter of at most 31
 //! comparators appears (well below the ~33 a single saturated restart
 //! finds immediately, above the optimal 29). The returned network is
 //! identical at every worker count — the determinism contract — so the
@@ -11,11 +11,20 @@
 //! time-to-first-sorter should improve monotonically from 1 to 4 workers
 //! on a ≥ 4-core machine, then plateau once every restart below the first
 //! hit owns a core.
+//!
+//! The `warm_start` variant measures the other axis of the same contract:
+//! resuming from the cached 31-comparator incumbent (a
+//! `ParallelSearchConfig::warm_start` seed, as `find_network --warm-start`
+//! does across processes) reaches the same 31-comparator bar without
+//! re-running a single restart — it must beat the cold time-to-31 at any
+//! worker count, by orders of magnitude.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use mcs_networks::search::{parallel_search, ParallelSearchConfig, SearchSpace};
+use mcs_networks::search::{
+    parallel_search, MoveSet, ParallelSearchConfig, SearchSpace,
+};
 
 fn config_for(workers: usize) -> ParallelSearchConfig {
     let mut config = ParallelSearchConfig::new(10, 8);
@@ -49,6 +58,29 @@ fn bench_time_to_first_sorter(c: &mut Criterion) {
             },
         );
     }
+
+    // The resume path: pay the cold search once, outside the timing loop,
+    // then measure warm-started runs seeded with its result. The incumbent
+    // already meets the 31-comparator target, so each warm run returns it
+    // deterministically without spawning a restart — exactly what a
+    // chained `find_network --warm-start` hunt pays per resumed link.
+    let incumbent = parallel_search(&config_for(4))
+        .expect("bench config is valid")
+        .expect("a 10-sorter within the restart pool");
+    assert!(incumbent.size() <= 31);
+    group.bench_function("warm_start", |b| {
+        b.iter(|| {
+            let mut config = config_for(1);
+            config.space = SearchSpace::Free; // warm starts refine here
+            config.moves = MoveSet::Extended;
+            config.warm_start = Some(incumbent.clone());
+            let net = parallel_search(&config)
+                .expect("warm bench config is valid")
+                .expect("warm-started search never returns None");
+            assert!(net.size() <= 31, "warm result regressed the incumbent");
+            black_box(net)
+        })
+    });
     group.finish();
 }
 

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! find_network <channels> <max_depth> [target_size] [seconds] [seed] [workers]
-//!              [--save <path>]
+//!              [--warm-start <path>] [--save <path>]
 //! find_network --load <path>
 //! ```
 //!
@@ -28,14 +28,32 @@
 //! by magic) is loaded, **re-verified** with the 0-1 principle, and
 //! re-emitted through the same writer — a cache can never silently serve a
 //! non-sorting network.
+//!
+//! `--warm-start` resumes a hunt from a cached artifact instead of
+//! restarting from scratch: the incumbent is loaded, re-verified, and
+//! checked against `<channels>` and `<max_depth>` (a disagreement is a
+//! typed error on stderr, never a panic) before it seeds every restart.
+//! The run refines in the free search space with the extended
+//! (permutation + relocation) move set, never returns a network larger
+//! than the incumbent, and stamps warm-start provenance — the incumbent's
+//! seed and size, as `parent-seed` / `parent-size` header lines — into the
+//! reported artifact. Composing `--warm-start` with `--save` makes a long
+//! hunt a chain of cheap budgeted runs:
+//!
+//! ```text
+//! find_network 10 8 31 60 2018 0 --save hunt.mcsn
+//! find_network 10 8 30 60 2018 0 --warm-start hunt.mcsn --save hunt.mcsn
+//! find_network 10 8 29 600 2019 0 --warm-start hunt.mcsn --save hunt.mcsn
+//! ```
 
 use std::process::ExitCode;
 use std::sync::Mutex;
 use std::time::Duration;
 
-use mcs_networks::io::NetworkArtifact;
+use mcs_networks::io::{NetworkArtifact, WarmStartProvenance};
 use mcs_networks::search::{
-    parallel_search_with_progress, ParallelSearchConfig, SearchSpace,
+    parallel_search_with_progress, MoveSet, ParallelSearchConfig, SearchSpace,
+    WarmStartError,
 };
 use mcs_networks::Network;
 
@@ -107,6 +125,7 @@ fn main() -> ExitCode {
     let mut positional: Vec<String> = Vec::new();
     let mut save: Option<String> = None;
     let mut load_path: Option<String> = None;
+    let mut warm_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -124,11 +143,19 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--warm-start" => match args.next() {
+                Some(p) => warm_path = Some(p),
+                None => {
+                    eprintln!("--warm-start needs a path");
+                    return ExitCode::from(2);
+                }
+            },
             other if other.starts_with("--") => {
                 eprintln!(
                     "unknown flag {other:?}\nusage: find_network <channels> \
                      <max_depth> [target_size] [seconds] [seed] [workers] \
-                     [--save <path>] | find_network --load <path>"
+                     [--warm-start <path>] [--save <path>] | \
+                     find_network --load <path>"
                 );
                 return ExitCode::from(2);
             }
@@ -136,6 +163,17 @@ fn main() -> ExitCode {
         }
     }
     if let Some(path) = load_path {
+        // --load re-emits a cached artifact; it runs no search, so a
+        // simultaneous --warm-start would be silently dead. Reject the
+        // combination like any other misuse.
+        if warm_path.is_some() {
+            eprintln!(
+                "--load and --warm-start are mutually exclusive: --load \
+                 re-emits a cached artifact without searching, --warm-start \
+                 seeds a new search from one"
+            );
+            return ExitCode::from(2);
+        }
         return load(&path, save.as_deref());
     }
 
@@ -190,6 +228,46 @@ fn main() -> ExitCode {
         SearchSpace::Free
     };
 
+    // Warm start: reload the incumbent, re-verify it, and reject any
+    // disagreement with the CLI instance (channels, depth budget) as a
+    // typed error before any search state exists. Refinement runs in the
+    // free space (a saturated candidate is a stack of perfect matchings,
+    // which an arbitrary incumbent is not) with the extended move set.
+    let mut provenance: Option<WarmStartProvenance> = None;
+    if let Some(path) = &warm_path {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::from(3);
+            }
+        };
+        let incumbent = match NetworkArtifact::from_slice(&bytes) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::from(3);
+            }
+        };
+        config.space = SearchSpace::Free;
+        config.moves = MoveSet::Extended;
+        if let Err(e) = config.warm_start_from_artifact(&incumbent) {
+            eprintln!("{path}: {e}");
+            return ExitCode::from(match e {
+                WarmStartError::Artifact(_) => 4,
+                WarmStartError::Config(_) => 2,
+            });
+        }
+        eprintln!(
+            "warm start: resuming from {path}: {} (seed {})",
+            incumbent.network, incumbent.master_seed
+        );
+        provenance = Some(WarmStartProvenance {
+            parent_seed: incumbent.master_seed,
+            parent_size: incumbent.network.size() as u32,
+        });
+    }
+
     // Track the best network ever published, not just the driver's answer:
     // with a stop-at-size target, the deterministic reduce returns the hit
     // from the lowest restart index, which a luckier higher-index restart
@@ -211,7 +289,9 @@ fn main() -> ExitCode {
     match found {
         Ok(Some(net)) => {
             assert!(net.depth() <= max_depth);
-            let artifact = NetworkArtifact::new(net, seed);
+            let mut artifact = NetworkArtifact::new(net, seed);
+            // Warm-started results carry their lineage in the header.
+            artifact.provenance = provenance;
             // The same re-verification gate the cache loader applies.
             artifact.reverify().expect("searched network must sort");
             report(&artifact, save.as_deref())

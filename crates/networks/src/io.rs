@@ -26,7 +26,7 @@
 //!    serve a non-sorting network.
 //!
 //! ```text
-//! mcs-network v1
+//! mcs-network v2
 //! channels 4
 //! size 5
 //! depth 3
@@ -39,8 +39,22 @@
 //! end
 //! ```
 //!
+//! v2 artifacts produced by a **warm-started** search additionally carry
+//! their provenance — the master seed and size of the cached incumbent the
+//! search resumed from — as two optional header lines after `seed`:
+//!
+//! ```text
+//! parent-seed 2018
+//! parent-size 33
+//! ```
+//!
+//! so a chain of resumed runs is auditable from the artifacts alone.
+//!
 //! The version is bumped on any incompatible change; unknown versions are
-//! rejected, never guessed at.
+//! rejected, never guessed at. Older versions down to
+//! [`ARTIFACT_MIN_VERSION`] remain loadable: a v1 artifact (no provenance
+//! lines, shorter binary header) loads as a v2 artifact without provenance
+//! — re-saving it writes the current version.
 
 use std::error::Error;
 use std::fmt;
@@ -155,8 +169,13 @@ impl FromStr for Network {
 // The versioned network artifact format
 // ---------------------------------------------------------------------------
 
-/// Format version written by this module and the only one it accepts.
-pub const ARTIFACT_VERSION: u32 = 1;
+/// Format version written by this module (v2: optional warm-start
+/// provenance in the header).
+pub const ARTIFACT_VERSION: u32 = 2;
+
+/// Oldest format version the loaders still accept. v1 artifacts carry no
+/// provenance; they load as provenance-free v2 artifacts.
+pub const ARTIFACT_MIN_VERSION: u32 = 1;
 
 /// Magic first line of the text artifact (followed by ` v<version>`).
 pub const ARTIFACT_TEXT_MAGIC: &str = "mcs-network";
@@ -168,15 +187,32 @@ pub const ARTIFACT_BINARY_MAGIC: &[u8; 4] = b"MCSN";
 /// exhaustively (2^n 0-1 inputs; matches [`zero_one_verify`]'s bound).
 pub const MAX_VERIFY_CHANNELS: usize = 24;
 
+/// Where a warm-started search result came from: the header figures of the
+/// cached incumbent it resumed from. Stamped into the saved artifact so a
+/// long hunt — a chain of cheap resumed runs — stays auditable from its
+/// artifacts alone.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub struct WarmStartProvenance {
+    /// Master seed recorded in the incumbent artifact.
+    pub parent_seed: u64,
+    /// Comparator count of the incumbent (the warm-started result is never
+    /// larger — the search's monotonicity guarantee).
+    pub parent_size: u32,
+}
+
 /// A comparator network plus the provenance its cache entry carries: the
 /// master seed of the search that produced it (0 when unknown — e.g. a
-/// hand-written or generator-built network).
+/// hand-written or generator-built network) and, for warm-started results,
+/// the incumbent artifact's seed and size.
 #[derive(Clone, Eq, PartialEq, Debug)]
 pub struct NetworkArtifact {
     /// The network, comparators in execution order.
     pub network: Network,
     /// Master seed of the search run that found it (0 = not from a search).
     pub master_seed: u64,
+    /// Warm-start provenance; `None` for cold-searched or hand-built
+    /// networks (and for every v1 artifact).
+    pub provenance: Option<WarmStartProvenance>,
 }
 
 /// Error from the [`NetworkArtifact`] loaders and [`NetworkArtifact::reverify`].
@@ -254,7 +290,8 @@ impl fmt::Display for NetworkArtifactError {
             }
             NetworkArtifactError::UnsupportedVersion { found } => write!(
                 f,
-                "unsupported format version {found} (this build reads v{ARTIFACT_VERSION})"
+                "unsupported format version {found} (this build reads \
+                 v{ARTIFACT_MIN_VERSION}..=v{ARTIFACT_VERSION})"
             ),
             NetworkArtifactError::Header { line, detail } => {
                 write!(f, "line {line}: {detail}")
@@ -288,11 +325,28 @@ impl fmt::Display for NetworkArtifactError {
 impl Error for NetworkArtifactError {}
 
 impl NetworkArtifact {
-    /// Wraps a network with the master seed that found it.
+    /// Wraps a network with the master seed that found it (no warm-start
+    /// provenance; set [`NetworkArtifact::provenance`] or use
+    /// [`NetworkArtifact::with_provenance`] for resumed results).
     pub fn new(network: Network, master_seed: u64) -> NetworkArtifact {
         NetworkArtifact {
             network,
             master_seed,
+            provenance: None,
+        }
+    }
+
+    /// Wraps a warm-started search result: the network, the master seed of
+    /// the run that refined it, and the incumbent's provenance figures.
+    pub fn with_provenance(
+        network: Network,
+        master_seed: u64,
+        provenance: WarmStartProvenance,
+    ) -> NetworkArtifact {
+        NetworkArtifact {
+            network,
+            master_seed,
+            provenance: Some(provenance),
         }
     }
 
@@ -306,6 +360,10 @@ impl NetworkArtifact {
         s.push_str(&format!("size {}\n", self.network.size()));
         s.push_str(&format!("depth {}\n", self.network.depth()));
         s.push_str(&format!("seed {}\n", self.master_seed));
+        if let Some(p) = &self.provenance {
+            s.push_str(&format!("parent-seed {}\n", p.parent_seed));
+            s.push_str(&format!("parent-size {}\n", p.parent_size));
+        }
         for c in self.network.comparators() {
             s.push_str(&format!("({},{})\n", c.lo(), c.hi()));
         }
@@ -320,7 +378,11 @@ impl NetworkArtifact {
     /// Typed [`NetworkArtifactError`]s on any malformed input; never
     /// panics. Every header figure is recomputed and cross-checked.
     pub fn from_text(text: &str) -> Result<NetworkArtifact, NetworkArtifactError> {
-        let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l.trim_end()));
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l.trim_end()))
+            .peekable();
         let (_, magic) = lines.next().ok_or(NetworkArtifactError::Truncated {
             context: "magic line",
         })?;
@@ -332,13 +394,14 @@ impl NetworkArtifact {
             .strip_prefix('v')
             .and_then(|v| v.parse().ok())
             .ok_or(NetworkArtifactError::BadMagic)?;
-        if version != ARTIFACT_VERSION {
+        if !(ARTIFACT_MIN_VERSION..=ARTIFACT_VERSION).contains(&version) {
             return Err(NetworkArtifactError::UnsupportedVersion { found: version });
         }
-        let mut header_field = |key: &'static str| -> Result<u64, NetworkArtifactError> {
-            let (line, l) = lines.next().ok_or(NetworkArtifactError::Truncated {
-                context: "header",
-            })?;
+        fn field_value(
+            line: usize,
+            l: &str,
+            key: &str,
+        ) -> Result<u64, NetworkArtifactError> {
             let value = l
                 .strip_prefix(key)
                 .map(str::trim)
@@ -351,11 +414,49 @@ impl NetworkArtifact {
                 line,
                 detail: format!("bad {key} value {value:?}"),
             })
+        }
+        // A macro rather than a closure: the optional provenance block
+        // below peeks `lines` between field reads, which a capturing
+        // closure's long-lived mutable borrow would forbid.
+        macro_rules! header_field {
+            ($key:literal) => {{
+                let (line, l) = lines.next().ok_or(NetworkArtifactError::Truncated {
+                    context: "header",
+                })?;
+                field_value(line, l, $key)?
+            }};
+        }
+        let channels_figure = header_field!("channels");
+        let size = header_field!("size");
+        let depth = header_field!("depth");
+        let seed = header_field!("seed");
+        // Optional warm-start provenance (v2): two lines after `seed`.
+        // v1 artifacts never carried them, so a v1 `parent-seed` line falls
+        // through to the comparator parser and is rejected there.
+        let provenance = if version >= 2
+            && lines.peek().is_some_and(|&(_, l)| l.starts_with("parent-se"))
+        {
+            let parent_seed = header_field!("parent-seed");
+            let (ps_line, _) = *lines.peek().ok_or(NetworkArtifactError::Truncated {
+                context: "header",
+            })?;
+            let parent_size_figure = header_field!("parent-size");
+            if parent_size_figure > u64::from(u32::MAX) {
+                return Err(NetworkArtifactError::Header {
+                    line: ps_line,
+                    detail: format!(
+                        "parent-size {parent_size_figure} exceeds {}",
+                        u32::MAX
+                    ),
+                });
+            }
+            Some(WarmStartProvenance {
+                parent_seed,
+                parent_size: parent_size_figure as u32,
+            })
+        } else {
+            None
         };
-        let channels_figure = header_field("channels")?;
-        let size = header_field("size")?;
-        let depth = header_field("depth")?;
-        let seed = header_field("seed")?;
         // The same bounds the binary form enforces by construction (u16
         // channel fields): a wider figure must be a typed error here, not
         // a panic in `Comparator::new` or `to_bytes` later.
@@ -430,6 +531,7 @@ impl NetworkArtifact {
         Ok(NetworkArtifact {
             network,
             master_seed: seed,
+            provenance,
         })
     }
 
@@ -451,7 +553,9 @@ impl NetworkArtifact {
         NetworkArtifact::from_text(text)
     }
 
-    /// Serialises in the length-prefixed binary form.
+    /// Serialises in the length-prefixed binary form. v2 inserts one
+    /// provenance-flag byte after the seed (0 = none, 1 = followed by the
+    /// parent seed and size), so presence round-trips byte-identically.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(ARTIFACT_BINARY_MAGIC);
@@ -462,6 +566,14 @@ impl NetworkArtifact {
                 .to_le_bytes(),
         );
         out.extend_from_slice(&self.master_seed.to_le_bytes());
+        match &self.provenance {
+            None => out.push(0),
+            Some(p) => {
+                out.push(1);
+                out.extend_from_slice(&p.parent_seed.to_le_bytes());
+                out.extend_from_slice(&p.parent_size.to_le_bytes());
+            }
+        }
         out.extend_from_slice(&(self.network.size() as u32).to_le_bytes());
         out.extend_from_slice(&(self.network.depth() as u32).to_le_bytes());
         for c in self.network.comparators() {
@@ -493,7 +605,7 @@ impl NetworkArtifact {
         }
         let b = take(&mut pos, 2, "version")?;
         let version = u32::from(u16::from_le_bytes([b[0], b[1]]));
-        if version != ARTIFACT_VERSION {
+        if !(ARTIFACT_MIN_VERSION..=ARTIFACT_VERSION).contains(&version) {
             return Err(NetworkArtifactError::UnsupportedVersion { found: version });
         }
         let b = take(&mut pos, 2, "channel count")?;
@@ -506,6 +618,27 @@ impl NetworkArtifact {
         }
         let b = take(&mut pos, 8, "seed")?;
         let seed = u64::from_le_bytes(b.try_into().expect("8 bytes"));
+        // v1 has no provenance field; v2 carries a flag byte.
+        let provenance = if version >= 2 {
+            match take(&mut pos, 1, "provenance flag")?[0] {
+                0 => None,
+                1 => {
+                    let b = take(&mut pos, 8, "parent seed")?;
+                    let parent_seed = u64::from_le_bytes(b.try_into().expect("8 bytes"));
+                    let b = take(&mut pos, 4, "parent size")?;
+                    let parent_size = u32::from_le_bytes(b.try_into().expect("4 bytes"));
+                    Some(WarmStartProvenance { parent_seed, parent_size })
+                }
+                flag => {
+                    return Err(NetworkArtifactError::Header {
+                        line: 0,
+                        detail: format!("bad provenance flag {flag}"),
+                    })
+                }
+            }
+        } else {
+            None
+        };
         let b = take(&mut pos, 4, "size")?;
         let size = u64::from(u32::from_le_bytes(b.try_into().expect("4 bytes")));
         let b = take(&mut pos, 4, "depth")?;
@@ -539,6 +672,7 @@ impl NetworkArtifact {
         Ok(NetworkArtifact {
             network,
             master_seed: seed,
+            provenance,
         })
     }
 
@@ -670,9 +804,125 @@ mod tests {
         );
         assert_eq!(
             artifact.to_text(),
-            "mcs-network v1\nchannels 4\nsize 5\ndepth 3\nseed 2018\n\
+            "mcs-network v2\nchannels 4\nsize 5\ndepth 3\nseed 2018\n\
              (0,1)\n(2,3)\n(0,2)\n(1,3)\n(1,2)\nend\n"
         );
+        let resumed = NetworkArtifact::with_provenance(
+            Network::from_pairs(4, [(0, 1), (2, 3), (0, 2), (1, 3), (1, 2)]),
+            2018,
+            WarmStartProvenance { parent_seed: 7, parent_size: 33 },
+        );
+        assert_eq!(
+            resumed.to_text(),
+            "mcs-network v2\nchannels 4\nsize 5\ndepth 3\nseed 2018\n\
+             parent-seed 7\nparent-size 33\n\
+             (0,1)\n(2,3)\n(0,2)\n(1,3)\n(1,2)\nend\n"
+        );
+    }
+
+    #[test]
+    fn provenance_roundtrips_byte_identically_in_both_forms() {
+        for provenance in [
+            None,
+            Some(WarmStartProvenance { parent_seed: 0, parent_size: 0 }),
+            Some(WarmStartProvenance {
+                parent_seed: u64::MAX,
+                parent_size: u32::MAX,
+            }),
+        ] {
+            let mut artifact = NetworkArtifact::new(best_size(6).unwrap(), 2018);
+            artifact.provenance = provenance;
+            let text = artifact.to_text();
+            let from_text = NetworkArtifact::from_text(&text).unwrap();
+            assert_eq!(from_text, artifact, "{provenance:?}");
+            assert_eq!(from_text.to_text(), text, "{provenance:?}");
+            let bytes = artifact.to_bytes();
+            let from_bytes = NetworkArtifact::from_bytes(&bytes).unwrap();
+            assert_eq!(from_bytes, artifact, "{provenance:?}");
+            assert_eq!(from_bytes.to_bytes(), bytes, "{provenance:?}");
+        }
+    }
+
+    #[test]
+    fn headerless_v1_text_artifacts_still_load() {
+        // The exact bytes PR 4's writer produced: no provenance lines.
+        let v1 = "mcs-network v1\nchannels 4\nsize 5\ndepth 3\nseed 2018\n\
+                  (0,1)\n(2,3)\n(0,2)\n(1,3)\n(1,2)\nend\n";
+        let loaded = NetworkArtifact::from_text(v1).unwrap();
+        assert_eq!(loaded.master_seed, 2018);
+        assert_eq!(loaded.provenance, None);
+        assert_eq!(loaded.network.size(), 5);
+        loaded.reverify().unwrap();
+        // Re-saving writes the current version (not byte-identical to v1).
+        assert!(loaded.to_text().starts_with("mcs-network v2\n"));
+        // A v1 artifact cannot carry provenance lines: they fall through to
+        // the comparator parser and are rejected as typed errors.
+        let bogus = "mcs-network v1\nchannels 4\nsize 5\ndepth 3\nseed 2018\n\
+                     parent-seed 7\nparent-size 33\n\
+                     (0,1)\n(2,3)\n(0,2)\n(1,3)\n(1,2)\nend\n";
+        assert!(matches!(
+            NetworkArtifact::from_text(bogus),
+            Err(NetworkArtifactError::Comparator { line: 6, .. })
+        ));
+    }
+
+    #[test]
+    fn headerless_v1_binary_artifacts_still_load() {
+        // Hand-build the v1 layout: magic, version 1, channels, seed,
+        // size, depth, pairs — no provenance flag byte.
+        let net = best_size(4).unwrap();
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(ARTIFACT_BINARY_MAGIC);
+        v1.extend_from_slice(&1u16.to_le_bytes());
+        v1.extend_from_slice(&(net.channels() as u16).to_le_bytes());
+        v1.extend_from_slice(&77u64.to_le_bytes());
+        v1.extend_from_slice(&(net.size() as u32).to_le_bytes());
+        v1.extend_from_slice(&(net.depth() as u32).to_le_bytes());
+        for c in net.comparators() {
+            v1.extend_from_slice(&(c.lo() as u16).to_le_bytes());
+            v1.extend_from_slice(&(c.hi() as u16).to_le_bytes());
+        }
+        let loaded = NetworkArtifact::from_bytes(&v1).unwrap();
+        assert_eq!(loaded.network, net);
+        assert_eq!(loaded.master_seed, 77);
+        assert_eq!(loaded.provenance, None);
+        // Every truncation of the v1 layout is typed, like v2's.
+        for cut in 0..v1.len() {
+            assert!(matches!(
+                NetworkArtifact::from_bytes(&v1[..cut]).unwrap_err(),
+                NetworkArtifactError::Truncated { .. } | NetworkArtifactError::BadMagic
+            ));
+        }
+    }
+
+    #[test]
+    fn malformed_provenance_is_a_typed_error() {
+        // parent-seed without parent-size.
+        let half = "mcs-network v2\nchannels 3\nsize 1\ndepth 1\nseed 0\n\
+                    parent-seed 7\n(0,1)\nend\n";
+        assert!(matches!(
+            NetworkArtifact::from_text(half),
+            Err(NetworkArtifactError::Header { line: 7, .. })
+        ));
+        // parent-size beyond u32 (the binary field's bound).
+        let wide = "mcs-network v2\nchannels 3\nsize 1\ndepth 1\nseed 0\n\
+                    parent-seed 7\nparent-size 4294967296\n(0,1)\nend\n";
+        assert!(matches!(
+            NetworkArtifact::from_text(wide),
+            Err(NetworkArtifactError::Header { line: 7, .. })
+        ));
+        // A bad binary provenance flag.
+        let mut artifact = NetworkArtifact::new(best_size(4).unwrap(), 1);
+        artifact.provenance =
+            Some(WarmStartProvenance { parent_seed: 1, parent_size: 9 });
+        let mut bytes = artifact.to_bytes();
+        let flag_at = ARTIFACT_BINARY_MAGIC.len() + 2 + 2 + 8;
+        assert_eq!(bytes[flag_at], 1);
+        bytes[flag_at] = 9;
+        assert!(matches!(
+            NetworkArtifact::from_bytes(&bytes),
+            Err(NetworkArtifactError::Header { line: 0, .. })
+        ));
     }
 
     #[test]

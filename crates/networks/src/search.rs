@@ -34,12 +34,38 @@
 //! [`parallel_search_with_progress`] callback, and to stop early once
 //! `stop_at_size` is reached.
 //!
+//! # Warm starts
+//!
+//! A search does not have to begin from scratch: [`ParallelSearchConfig`]'s
+//! `warm_start` seeds every restart with a cached **incumbent** network
+//! (typically a [`crate::io::NetworkArtifact`] reloaded from a previous
+//! run — see [`ParallelSearchConfig::warm_start_from_artifact`], which
+//! re-verifies and checks channel compatibility before any thread spawns).
+//! Each restart then perturbs the incumbent instead of a random candidate,
+//! the shared best-so-far bound starts at the incumbent's size (only strict
+//! improvements are published), and the driver is **monotone**: the result
+//! is the incumbent itself whenever no restart beats it, so a warm-started
+//! search never returns `None` and never returns a larger network. Warm
+//! starts refine in [`SearchSpace::Free`] only — the saturated space's
+//! fixed-matching shape cannot hold an arbitrary incumbent.
+//!
+//! The `moves` knob widens the per-iteration move set for such refinement
+//! runs: [`MoveSet::Extended`] adds SorterHunter-style prefix-permutation
+//! and comparator-relocation moves on top of the classic add/remove/move
+//! distribution, which stays the default ([`MoveSet::Classic`]) and keeps
+//! its RNG word layout, so pinned even-channel trajectories are unchanged.
+//! (Odd-channel *symmetric* trajectories did move once, for any move set:
+//! a mirror-pair bug in the candidate layer bookkeeping — two comparators
+//! sharing the middle channel in one layer, able to blow the depth budget
+//! — was fixed alongside this knob.)
+//!
 //! # Determinism contract
 //!
 //! The result of [`parallel_search`] is a pure function of the
-//! configuration — including `master_seed` but **excluding** `workers`:
-//! thread count and thread timing never change the returned network, only
-//! the wall-clock time to find it. This holds because
+//! configuration — including `master_seed` and `warm_start` but
+//! **excluding** `workers`: thread count and thread timing never change the
+//! returned network, only the wall-clock time to find it. This holds
+//! because
 //!
 //! * each restart's trajectory reads nothing that other threads write: the
 //!   shared bound is published to, never steered by (a racy read inside the
@@ -67,9 +93,12 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::{Rng, RngCore, SeedableRng};
 
 use crate::comparator::Network;
+use crate::io::{NetworkArtifact, NetworkArtifactError};
+use crate::verify::{zero_one_verify, SortFailure};
 #[cfg(test)]
 use crate::verify::zero_one_failures;
 
@@ -125,6 +154,34 @@ pub enum SearchSpace {
     Saturated,
 }
 
+/// Which per-iteration move distribution the free-space annealer draws
+/// from. Gated so the classic distribution — and with it its RNG word
+/// consumption per iteration — stays the byte-for-byte default (see the
+/// module docs for the one historical trajectory change, which was a bug
+/// fix orthogonal to this knob).
+#[derive(Copy, Clone, Eq, PartialEq, Debug, Default)]
+pub enum MoveSet {
+    /// The historical three-way distribution: add a comparator, remove
+    /// one, or move one (remove here / add elsewhere).
+    #[default]
+    Classic,
+    /// Classic plus two SorterHunter-style moves, built for warm-started
+    /// refinement where the incumbent is already near-optimal:
+    ///
+    /// * **comparator relocation** — pick a comparator from a random
+    ///   occupied free layer and re-insert it into another layer, keeping
+    ///   the comparator set intact while reshaping the schedule;
+    /// * **prefix permutation** (rare) — relabel the channels of a prefix
+    ///   of the free layers under a random permutation. A bijection maps
+    ///   valid layers to valid layers, so the move is always legal; it may
+    ///   leave the mirror-symmetric subspace, which the annealer's fitness
+    ///   arbitrates like any other move.
+    ///
+    /// The saturated space ignores this knob (its re-pair distribution is
+    /// unchanged).
+    Extended,
+}
+
 /// An invalid search configuration. The drivers validate before touching
 /// any candidate state, so misconfiguration is an `Err`, never a panic.
 #[derive(Copy, Clone, Eq, PartialEq, Debug)]
@@ -155,6 +212,36 @@ pub enum SearchError {
         /// Configured restart count.
         restarts: u64,
     },
+    /// The warm-start incumbent is on a different channel count than the
+    /// configuration — perturbing it would silently search the wrong
+    /// instance, so the mismatch is rejected before any thread spawns.
+    WarmStartChannelMismatch {
+        /// Channel count of the incumbent network.
+        incumbent: usize,
+        /// Channel count the configuration asks for.
+        channels: usize,
+    },
+    /// The warm-start incumbent needs more layers than `max_depth` — it
+    /// cannot be represented in the candidate space, let alone improved.
+    WarmStartTooDeep {
+        /// ASAP depth of the incumbent network.
+        depth: usize,
+        /// Configured layer budget.
+        max_depth: usize,
+    },
+    /// Warm starts refine in [`SearchSpace::Free`] only: a saturated
+    /// candidate is a stack of perfect matchings, which an arbitrary
+    /// incumbent is not.
+    WarmStartSaturated,
+    /// The warm-start incumbent does not sort. Every successful search
+    /// result is a verified sorter — the monotone fallback returns the
+    /// incumbent itself, so a non-sorting incumbent must be rejected up
+    /// front, even when it was set by hand rather than through the
+    /// re-verifying [`ParallelSearchConfig::warm_start_from_artifact`].
+    WarmStartNotASorter {
+        /// The first failing 0-1 input.
+        failure: SortFailure,
+    },
 }
 
 impl fmt::Display for SearchError {
@@ -172,15 +259,66 @@ impl fmt::Display for SearchError {
                 f,
                 "empty search budget ({iterations} iterations x {restarts} restarts)"
             ),
+            SearchError::WarmStartChannelMismatch { incumbent, channels } => write!(
+                f,
+                "warm-start incumbent has {incumbent} channels but the search \
+                 is configured for {channels}"
+            ),
+            SearchError::WarmStartTooDeep { depth, max_depth } => write!(
+                f,
+                "warm-start incumbent needs depth {depth}, beyond the \
+                 max_depth budget of {max_depth}"
+            ),
+            SearchError::WarmStartSaturated => write!(
+                f,
+                "warm starts need the free search space (saturated layers \
+                 are perfect matchings, which an arbitrary incumbent is not)"
+            ),
+            SearchError::WarmStartNotASorter { failure } => {
+                write!(f, "warm-start incumbent does not sort: {failure}")
+            }
         }
     }
 }
 
 impl Error for SearchError {}
 
+/// Error from [`ParallelSearchConfig::warm_start_from_artifact`]: the
+/// artifact convenience rejects bad seeds *before* any thread spawns —
+/// either because the artifact itself fails re-verification, or because it
+/// does not fit this configuration.
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub enum WarmStartError {
+    /// The artifact failed 0-1 re-verification (or is too wide to verify):
+    /// a cache can never seed a search with a non-sorting incumbent.
+    Artifact(NetworkArtifactError),
+    /// The artifact is a sorter but does not fit the configuration
+    /// (channel mismatch or too deep) — the same typed errors
+    /// [`parallel_search`] itself returns on a hand-set `warm_start`.
+    Config(SearchError),
+}
+
+impl fmt::Display for WarmStartError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WarmStartError::Artifact(e) => write!(f, "warm-start artifact: {e}"),
+            WarmStartError::Config(e) => write!(f, "warm-start config: {e}"),
+        }
+    }
+}
+
+impl Error for WarmStartError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WarmStartError::Artifact(e) => Some(e),
+            WarmStartError::Config(e) => Some(e),
+        }
+    }
+}
+
 /// Configuration of the parallel search driver: a restart recipe plus the
-/// sharding, stopping and budget knobs.
-#[derive(Copy, Clone, Debug)]
+/// sharding, stopping, budget and warm-start knobs.
+#[derive(Clone, Debug)]
 pub struct ParallelSearchConfig {
     /// Channel count.
     pub channels: usize,
@@ -207,8 +345,21 @@ pub struct ParallelSearchConfig {
     pub frozen_layers: usize,
     /// Candidate space each restart explores.
     pub space: SearchSpace,
+    /// Per-iteration move distribution ([`SearchSpace::Free`] only).
+    pub moves: MoveSet,
+    /// Cached incumbent to resume from: every restart perturbs this
+    /// network instead of a random candidate, the shared best-so-far bound
+    /// starts at its size, and the driver returns it unchanged when no
+    /// restart improves on it (so a warm-started result is never larger
+    /// than the incumbent, and never `None`). Must match `channels`, fit
+    /// `max_depth`, and use [`SearchSpace::Free`] — all validated before
+    /// any thread spawns. See
+    /// [`ParallelSearchConfig::warm_start_from_artifact`] for the
+    /// re-verifying artifact path.
+    pub warm_start: Option<Network>,
     /// Stop early once a sorter of at most this size is found; the result
-    /// is then the hit from the lowest restart index.
+    /// is then the hit from the lowest restart index. A warm-start
+    /// incumbent already at or below this size is returned immediately.
     pub stop_at_size: Option<usize>,
     /// Optional wall-clock cap. When it triggers, restarts are truncated at
     /// timing-dependent points — the one mode that forfeits determinism.
@@ -229,6 +380,8 @@ impl ParallelSearchConfig {
             symmetric: channels >= 8,
             frozen_layers: 1,
             space: SearchSpace::Free,
+            moves: MoveSet::Classic,
+            warm_start: None,
             stop_at_size: None,
             wall_clock: None,
         }
@@ -248,9 +401,61 @@ impl ParallelSearchConfig {
             symmetric: config.symmetric,
             frozen_layers: config.frozen_layers,
             space,
+            moves: MoveSet::Classic,
+            warm_start: None,
             stop_at_size: None,
             wall_clock: None,
         }
+    }
+
+    /// Seeds the search from a cached artifact — the resume path for long
+    /// hunts split across cheap budgeted runs. The artifact is
+    /// **re-verified** (0-1 principle) and checked against this
+    /// configuration (channel count, depth budget) before it may seed
+    /// anything, so a stale or corrupt cache entry is a typed error, not a
+    /// wasted search; on success `warm_start` holds the incumbent.
+    ///
+    /// # Errors
+    ///
+    /// [`WarmStartError::Artifact`] when the artifact fails
+    /// re-verification, [`WarmStartError::Config`] when it does not fit
+    /// this configuration.
+    ///
+    /// ```
+    /// use mcs_networks::io::NetworkArtifact;
+    /// use mcs_networks::optimal::best_size;
+    /// use mcs_networks::search::ParallelSearchConfig;
+    ///
+    /// let artifact = NetworkArtifact::new(best_size(6).unwrap(), 2018);
+    /// let mut config = ParallelSearchConfig::new(6, artifact.network.depth());
+    /// config.warm_start_from_artifact(&artifact).unwrap();
+    /// assert_eq!(config.warm_start.as_ref().unwrap().size(), 12);
+    ///
+    /// // The wrong instance is rejected before any search state exists.
+    /// let mut other = ParallelSearchConfig::new(8, 7);
+    /// assert!(other.warm_start_from_artifact(&artifact).is_err());
+    /// ```
+    pub fn warm_start_from_artifact(
+        &mut self,
+        artifact: &NetworkArtifact,
+    ) -> Result<(), WarmStartError> {
+        artifact.reverify().map_err(WarmStartError::Artifact)?;
+        let incumbent = &artifact.network;
+        if incumbent.channels() != self.channels {
+            return Err(WarmStartError::Config(SearchError::WarmStartChannelMismatch {
+                incumbent: incumbent.channels(),
+                channels: self.channels,
+            }));
+        }
+        let depth = incumbent.depth();
+        if depth > self.max_depth {
+            return Err(WarmStartError::Config(SearchError::WarmStartTooDeep {
+                depth,
+                max_depth: self.max_depth,
+            }));
+        }
+        self.warm_start = Some(incumbent.clone());
+        Ok(())
     }
 }
 
@@ -389,6 +594,14 @@ impl Candidate {
         }
         let m = self.mirror(c);
         if symmetric && m != c {
+            // The mirror must be addable alongside `c`: its slots free in
+            // the layer *and* disjoint from `c` itself — for odd n, a
+            // comparator touching the middle channel has a distinct mirror
+            // sharing that channel, and pushing both would claim one
+            // channel twice in the same layer.
+            if m.0 == a || m.0 == b || m.1 == a || m.1 == b {
+                return;
+            }
             if self.layer_uses(layer, m.0) || self.layer_uses(layer, m.1) {
                 return;
             }
@@ -575,6 +788,32 @@ fn validate(config: &ParallelSearchConfig) -> Result<(), SearchError> {
             restarts: config.restarts,
         });
     }
+    if let Some(incumbent) = &config.warm_start {
+        if config.space == SearchSpace::Saturated {
+            return Err(SearchError::WarmStartSaturated);
+        }
+        if incumbent.channels() != n {
+            return Err(SearchError::WarmStartChannelMismatch {
+                incumbent: incumbent.channels(),
+                channels: n,
+            });
+        }
+        let depth = incumbent.depth();
+        if depth > config.max_depth {
+            return Err(SearchError::WarmStartTooDeep {
+                depth,
+                max_depth: config.max_depth,
+            });
+        }
+        // A hand-set incumbent gets the same gate the artifact path has:
+        // the monotone fallback can return the incumbent verbatim, so a
+        // non-sorter must never seed the driver. (Channel count is already
+        // validated ≤ 24, so the exhaustive check is in bounds; its cost
+        // is one 0-1 sweep — noise next to any real search budget.)
+        if let Err(failure) = zero_one_verify(incumbent) {
+            return Err(SearchError::WarmStartNotASorter { failure });
+        }
+    }
     Ok(())
 }
 
@@ -622,10 +861,20 @@ pub fn parallel_search_with_progress(
     on_improve: impl Fn(usize, &Network) + Sync,
 ) -> Result<Option<Network>, SearchError> {
     validate(config)?;
+    // A warm-start incumbent already at or below the stop-at-size target
+    // is the deterministic answer — return it before spawning anything.
+    if let (Some(incumbent), Some(target)) = (&config.warm_start, config.stop_at_size) {
+        if incumbent.size() <= target {
+            return Ok(Some(incumbent.clone()));
+        }
+    }
     let workers = resolve_workers(config);
     let deadline = config.wall_clock.map(|budget| Instant::now() + budget);
     let shared = Shared {
-        best_size: AtomicUsize::new(usize::MAX),
+        // Warm starts publish strict improvements over the incumbent only.
+        best_size: AtomicUsize::new(
+            config.warm_start.as_ref().map_or(usize::MAX, Network::size),
+        ),
         best: Mutex::new(None),
         hit_restart: AtomicU64::new(u64::MAX),
         expired: AtomicBool::new(false),
@@ -653,18 +902,29 @@ pub fn parallel_search_with_progress(
     // the lowest restart index: every restart below it ran to completion
     // without hitting, and restarts above it cannot win, so the choice is
     // timing-independent. Otherwise: smallest network, lowest restart.
-    if let Some(found) = outcomes
+    let reduced = if let Some(found) = outcomes
         .iter()
         .filter_map(|o| o.hit.as_ref())
         .min_by_key(|f| f.restart)
     {
-        return Ok(Some(found.network.clone()));
+        Some(found.network.clone())
+    } else {
+        outcomes
+            .into_iter()
+            .filter_map(|o| o.best)
+            .min_by_key(|f| (f.network.size(), f.restart))
+            .map(|f| f.network)
+    };
+    // Monotone warm starts: when no restart strictly beats the incumbent,
+    // the incumbent itself is the (deterministic) answer — a warm-started
+    // search never regresses and never comes back empty-handed.
+    if let Some(incumbent) = &config.warm_start {
+        return Ok(Some(match reduced {
+            Some(net) if net.size() < incumbent.size() => net,
+            _ => incumbent.clone(),
+        }));
     }
-    Ok(outcomes
-        .into_iter()
-        .filter_map(|o| o.best)
-        .min_by_key(|f| (f.network.size(), f.restart))
-        .map(|f| f.network))
+    Ok(reduced)
 }
 
 /// Hard ceiling on spawned workers: more threads than this cannot help
@@ -751,17 +1011,28 @@ fn anneal_free(
     let mut rng = StdRng::seed_from_u64(seed);
     let n = config.channels;
     let mut cand = Candidate::empty(n, config.max_depth);
-    // Seed with a brick-wall first layer (a perfect matching) — symmetric
-    // by construction.
-    for i in (0..n.saturating_sub(1)).step_by(2) {
-        cand.layers[0].push((i, i + 1));
-    }
-    // Optional canonical second layer: pair the pairs ((0,2),(1,3),…),
-    // also reflection-symmetric for even n.
-    if config.frozen_layers >= 2 && config.max_depth >= 2 {
-        for i in (0..n.saturating_sub(3)).step_by(4) {
-            cand.layers[1].push((i, i + 2));
-            cand.layers[1].push((i + 1, i + 3));
+    if let Some(incumbent) = &config.warm_start {
+        // Warm start: the restart begins at the cached incumbent (ASAP
+        // layers; `validate` guaranteed it fits the depth budget) and the
+        // annealing loop perturbs from there — per-restart rng streams,
+        // not the starting point, provide the diversity across restarts.
+        // `frozen_layers` freezes the incumbent's own leading layers.
+        for (k, layer) in incumbent.layers().iter().enumerate() {
+            cand.layers[k] = layer.iter().map(|c| (c.lo(), c.hi())).collect();
+        }
+    } else {
+        // Cold start: a brick-wall first layer (a perfect matching) —
+        // symmetric by construction.
+        for i in (0..n.saturating_sub(1)).step_by(2) {
+            cand.layers[0].push((i, i + 1));
+        }
+        // Optional canonical second layer: pair the pairs ((0,2),(1,3),…),
+        // also reflection-symmetric for even n.
+        if config.frozen_layers >= 2 && config.max_depth >= 2 {
+            for i in (0..n.saturating_sub(3)).step_by(4) {
+                cand.layers[1].push((i, i + 2));
+                cand.layers[1].push((i + 1, i + 3));
+            }
         }
     }
     let frozen = config.frozen_layers.min(config.max_depth);
@@ -773,7 +1044,12 @@ fn anneal_free(
             break;
         }
         let mut next = cand.clone();
-        mutate_free(&mut next, &mut rng, config.symmetric, frozen);
+        match config.moves {
+            MoveSet::Classic => mutate_free(&mut next, &mut rng, config.symmetric, frozen),
+            MoveSet::Extended => {
+                mutate_extended(&mut next, &mut rng, config.symmetric, frozen)
+            }
+        }
         let next_fitness = fitness_eval.failures(&next.flat());
         // Annealed acceptance: always improve; accept equals half the
         // time; accept mild regressions with decaying probability.
@@ -818,6 +1094,100 @@ fn mutate_free(cand: &mut Candidate, rng: &mut StdRng, symmetric: bool, frozen: 
             let a = rng.gen_range(0..n);
             let b = rng.gen_range(0..n);
             cand.try_add(layer2, (a.min(b), a.max(b)), symmetric);
+        }
+    }
+}
+
+/// The [`MoveSet::Extended`] distribution: the classic three moves plus
+/// comparator relocation, and (rarely) a prefix channel permutation.
+fn mutate_extended(cand: &mut Candidate, rng: &mut StdRng, symmetric: bool, frozen: usize) {
+    let n = cand.channels;
+    let depth = cand.layers.len();
+    if frozen >= depth {
+        return;
+    }
+    // Rare large jump first, so the remaining draws mirror the classic
+    // layout (layer, then move kind).
+    if rng.gen_bool(0.03) {
+        permute_prefix(cand, rng, frozen);
+        return;
+    }
+    let layer = rng.gen_range(frozen..depth);
+    match rng.gen_range(0..4) {
+        0 => {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            cand.try_add(layer, (a.min(b), a.max(b)), symmetric);
+        }
+        1 => cand.remove_random(layer, rng, symmetric),
+        2 => {
+            cand.remove_random(layer, rng, symmetric);
+            let layer2 = rng.gen_range(frozen..depth);
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            cand.try_add(layer2, (a.min(b), a.max(b)), symmetric);
+        }
+        _ => relocate_comparator(cand, rng, symmetric, frozen),
+    }
+}
+
+/// Relocation move: take one comparator out of a random occupied free
+/// layer and re-insert the *same* channel pair into another free layer —
+/// reshaping the schedule without changing the comparator multiset (unless
+/// the destination slot is taken, in which case the move degrades to a
+/// removal, which the annealer's acceptance rule arbitrates).
+fn relocate_comparator(
+    cand: &mut Candidate,
+    rng: &mut StdRng,
+    symmetric: bool,
+    frozen: usize,
+) {
+    let depth = cand.layers.len();
+    // Uniform occupied free layer, allocation-free (this runs inside the
+    // annealing hot loop): count, draw one index, walk to it.
+    let occupied = (frozen..depth).filter(|&l| !cand.layers[l].is_empty()).count();
+    if occupied == 0 {
+        return;
+    }
+    let pick = rng.gen_range(0..occupied);
+    let src = (frozen..depth)
+        .filter(|&l| !cand.layers[l].is_empty())
+        .nth(pick)
+        .expect("pick < occupied count");
+    let &c = cand.layers[src].choose(rng).expect("src is occupied");
+    let pos = cand.layers[src]
+        .iter()
+        .position(|&x| x == c)
+        .expect("chosen from this layer");
+    cand.layers[src].remove(pos);
+    if symmetric {
+        let m = cand.mirror(c);
+        if m != c {
+            if let Some(pos) = cand.layers[src].iter().position(|&x| x == m) {
+                cand.layers[src].remove(pos);
+            }
+        }
+    }
+    let dest = rng.gen_range(frozen..depth);
+    cand.try_add(dest, c, symmetric);
+}
+
+/// Prefix-permutation move (SorterHunter's "permute" mutation): relabel
+/// the channels of free layers `frozen..=pivot` under one random
+/// permutation. A bijection maps disjoint comparators to disjoint
+/// comparators, so every layer stays valid; comparators are
+/// re-standardised to `lo < hi`, so the candidate's *function* genuinely
+/// changes and the fitness evaluation decides whether the jump survives.
+fn permute_prefix(cand: &mut Candidate, rng: &mut StdRng, frozen: usize) {
+    let depth = cand.layers.len();
+    debug_assert!(frozen < depth);
+    let pivot = rng.gen_range(frozen..depth);
+    let mut relabel: Vec<usize> = (0..cand.channels).collect();
+    relabel.shuffle(rng);
+    for layer in &mut cand.layers[frozen..=pivot] {
+        for c in layer.iter_mut() {
+            let (a, b) = (relabel[c.0], relabel[c.1]);
+            *c = (a.min(b), a.max(b));
         }
     }
 }
@@ -1214,6 +1584,92 @@ mod tests {
                 .expect("(0,1) stacks sort");
             assert_eq!(net.size(), 1, "prune strips the duplicate brick walls");
         }
+    }
+
+    #[test]
+    fn extended_moves_preserve_candidate_invariants() {
+        // 10k extended mutations (including permutations and relocations)
+        // must never produce an invalid layer: comparators stay standard
+        // form, in range, and channel-disjoint within a layer, and frozen
+        // layers are never touched.
+        for symmetric in [false, true] {
+            let mut rng = StdRng::seed_from_u64(77);
+            let n = 7;
+            let mut cand = Candidate::empty(n, 5);
+            for i in (0..n - 1).step_by(2) {
+                cand.layers[0].push((i, i + 1));
+            }
+            let frozen_layer = cand.layers[0].clone();
+            for step in 0..10_000 {
+                mutate_extended(&mut cand, &mut rng, symmetric, 1);
+                assert_eq!(cand.layers[0], frozen_layer, "step {step}");
+                for (l, layer) in cand.layers.iter().enumerate() {
+                    let mut used = [false; 7];
+                    for &(a, b) in layer {
+                        assert!(a < b && b < n, "step {step} layer {l}: ({a},{b})");
+                        assert!(
+                            !used[a] && !used[b],
+                            "step {step} layer {l}: channel reuse at ({a},{b})"
+                        );
+                        used[a] = true;
+                        used[b] = true;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_permutation_preserves_comparator_count() {
+        // A bijective relabel maps valid layers to valid layers of the
+        // same cardinality — the move reshapes, never shrinks.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut cand = Candidate::empty(6, 4);
+        cand.layers[0] = vec![(0, 1), (2, 3), (4, 5)];
+        cand.layers[1] = vec![(0, 2), (1, 4)];
+        cand.layers[2] = vec![(3, 5)];
+        let sizes: Vec<usize> = cand.layers.iter().map(Vec::len).collect();
+        for _ in 0..200 {
+            permute_prefix(&mut cand, &mut rng, 1);
+            let now: Vec<usize> = cand.layers.iter().map(Vec::len).collect();
+            assert_eq!(now, sizes);
+            assert_eq!(cand.layers[0], vec![(0, 1), (2, 3), (4, 5)], "frozen");
+        }
+    }
+
+    #[test]
+    fn warm_start_misconfigurations_are_typed_errors() {
+        use crate::optimal::best_size;
+
+        // Channel mismatch: a 4-channel incumbent on a 6-channel search.
+        let mut config = ParallelSearchConfig::new(6, 6);
+        config.warm_start = Some(best_size(4).unwrap());
+        assert_eq!(
+            parallel_search(&config).unwrap_err(),
+            SearchError::WarmStartChannelMismatch { incumbent: 4, channels: 6 }
+        );
+        // Too deep: best_size(6) needs 6 layers, the budget allows 3.
+        let mut config = ParallelSearchConfig::new(6, 3);
+        config.warm_start = Some(best_size(6).unwrap());
+        assert_eq!(
+            parallel_search(&config).unwrap_err(),
+            SearchError::WarmStartTooDeep { depth: 6, max_depth: 3 }
+        );
+        // The saturated space cannot hold an arbitrary incumbent.
+        let mut config = ParallelSearchConfig::new(6, 6);
+        config.space = SearchSpace::Saturated;
+        config.warm_start = Some(best_size(6).unwrap());
+        assert_eq!(
+            parallel_search(&config).unwrap_err(),
+            SearchError::WarmStartSaturated
+        );
+        // The errors name the offending figures.
+        assert!(SearchError::WarmStartChannelMismatch { incumbent: 4, channels: 6 }
+            .to_string()
+            .contains('4'));
+        assert!(SearchError::WarmStartTooDeep { depth: 5, max_depth: 3 }
+            .to_string()
+            .contains("max_depth"));
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! CLI-level tests for `find_network --warm-start`: the binary itself must
+//! reject a disagreement between `--warm-start` and `<channels>` with a
+//! typed error message on stderr (never a panic), refuse non-sorting
+//! incumbents, and emit provenance-stamped, run-to-run-identical artifacts
+//! on the happy path.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use mcs_networks::io::NetworkArtifact;
+use mcs_networks::optimal::best_size;
+
+fn find_network(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_find_network"))
+        .args(args)
+        .output()
+        .expect("find_network spawns")
+}
+
+fn temp_artifact(name: &str, artifact: &NetworkArtifact) -> PathBuf {
+    let dir = std::env::temp_dir().join("mcs-find-network-cli");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    std::fs::write(&path, artifact.to_text()).expect("write artifact");
+    path
+}
+
+#[test]
+fn warm_start_channel_mismatch_is_a_typed_error_not_a_panic() {
+    // A 4-channel incumbent against a 6-channel search.
+    let path = temp_artifact(
+        "four.mcsn",
+        &NetworkArtifact::new(best_size(4).unwrap(), 7),
+    );
+    let out = find_network(&["6", "5", "0", "1", "1", "1", "--warm-start"].iter()
+        .copied()
+        .chain([path.to_str().unwrap()])
+        .collect::<Vec<_>>());
+    assert_eq!(out.status.code(), Some(2), "usage-class exit code");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("4 channels") && stderr.contains("configured for 6"),
+        "stderr names both figures: {stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "typed error, not a panic: {stderr}");
+    assert!(out.stdout.is_empty(), "no artifact on a rejected config");
+}
+
+#[test]
+fn warm_start_rejects_non_sorting_artifacts_before_searching() {
+    let dir = std::env::temp_dir().join("mcs-find-network-cli");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("nonsorter.mcsn");
+    // Syntactically valid, semantically wrong: one comparator on three
+    // channels does not sort.
+    std::fs::write(
+        &path,
+        "mcs-network v2\nchannels 3\nsize 1\ndepth 1\nseed 0\n(0,1)\nend\n",
+    )
+    .expect("write artifact");
+    let out = find_network(&["3", "3", "0", "1", "1", "1", "--warm-start"].iter()
+        .copied()
+        .chain([path.to_str().unwrap()])
+        .collect::<Vec<_>>());
+    assert_eq!(out.status.code(), Some(4), "verification-class exit code");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("does not sort"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
+fn load_and_warm_start_together_are_rejected() {
+    // --load runs no search, so a simultaneous --warm-start would be
+    // silently dead; the binary must refuse the combination.
+    let path = temp_artifact(
+        "exclusive.mcsn",
+        &NetworkArtifact::new(best_size(4).unwrap(), 1),
+    );
+    let p = path.to_str().unwrap();
+    let out = find_network(&["--load", p, "--warm-start", p]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("mutually exclusive"), "{stderr}");
+    assert!(out.stdout.is_empty());
+}
+
+#[test]
+fn warm_start_happy_path_is_deterministic_and_stamps_provenance() {
+    // The incumbent (the optimal 5-comparator 4-sorter, "found" by seed
+    // 77) already meets the target size, so the warm-started run returns
+    // it immediately — deterministically, whatever the budget.
+    let incumbent = NetworkArtifact::new(best_size(4).unwrap(), 77);
+    let path = temp_artifact("four_optimal.mcsn", &incumbent);
+    let args: Vec<&str> = ["4", "3", "5", "5", "2018", "2", "--warm-start"]
+        .iter()
+        .copied()
+        .chain([path.to_str().unwrap()])
+        .collect();
+    let first = find_network(&args);
+    assert!(first.status.success(), "{}", String::from_utf8_lossy(&first.stderr));
+    let second = find_network(&args);
+    assert!(second.status.success());
+    assert_eq!(first.stdout, second.stdout, "two warm runs, identical bytes");
+
+    let text = String::from_utf8(first.stdout).expect("artifact is UTF-8");
+    let artifact = NetworkArtifact::from_text(&text).expect("stdout is an artifact");
+    artifact.reverify().expect("reported network sorts");
+    // Monotone: never larger than the incumbent (here: exactly it).
+    assert_eq!(artifact.network, incumbent.network);
+    // The header records this run's seed and the incumbent's lineage.
+    assert_eq!(artifact.master_seed, 2018);
+    let provenance = artifact.provenance.expect("warm runs stamp provenance");
+    assert_eq!(provenance.parent_seed, 77);
+    assert_eq!(provenance.parent_size, 5);
+}

@@ -7,8 +7,8 @@
 //! and thread timing only change wall-clock time.
 
 use mcs_networks::search::{
-    parallel_search, search, search_saturated, ParallelSearchConfig, SearchConfig,
-    SearchSpace,
+    parallel_search, search, search_saturated, MoveSet, ParallelSearchConfig,
+    SearchConfig, SearchSpace,
 };
 use mcs_networks::verify::zero_one_verify;
 
@@ -69,7 +69,7 @@ fn worker_count_never_changes_the_result() {
     for config in [free_config(), saturated_config()] {
         let mut results = Vec::new();
         for workers in [1usize, 2, 3, 8] {
-            let mut sharded = config;
+            let mut sharded = config.clone();
             sharded.workers = workers;
             results.push(parallel_search(&sharded).expect("valid config"));
         }
@@ -97,6 +97,31 @@ fn single_worker_single_restart_driver_matches_the_scalar_path() {
 }
 
 #[test]
+fn extended_move_set_keeps_the_determinism_contract() {
+    // The permutation/relocation moves draw extra RNG words, so Extended
+    // trajectories differ from Classic ones — but they must obey the same
+    // contract: byte-identical across runs and worker counts.
+    let mut config = free_config();
+    config.moves = MoveSet::Extended;
+    let mut results = Vec::new();
+    for workers in [1usize, 2, 3, 8] {
+        let mut sharded = config.clone();
+        sharded.workers = workers;
+        results.push(parallel_search(&sharded).expect("valid config"));
+    }
+    assert!(
+        results.windows(2).all(|w| w[0] == w[1]),
+        "worker count changed the extended-move result: {results:?}"
+    );
+    let net = results[0].clone().expect("the budget finds a 6-sorter");
+    assert!(zero_one_verify(&net).is_ok());
+    // Rerun: same bytes.
+    let mut rerun = config.clone();
+    rerun.workers = 3;
+    assert_eq!(parallel_search(&rerun).expect("valid config"), Some(net));
+}
+
+#[test]
 fn stop_at_size_early_exit_is_deterministic() {
     // The early-exit protocol returns the hit from the lowest restart
     // index, independent of how restarts are sharded over threads.
@@ -104,7 +129,7 @@ fn stop_at_size_early_exit_is_deterministic() {
     config.stop_at_size = Some(12); // optimal size for n = 6
     let mut results = Vec::new();
     for workers in [1usize, 2, 4] {
-        let mut sharded = config;
+        let mut sharded = config.clone();
         sharded.workers = workers;
         results.push(parallel_search(&sharded).expect("valid config"));
     }

@@ -9,7 +9,9 @@ use std::time::Instant;
 
 use mcs_networks::io::NetworkArtifact;
 use mcs_networks::optimal::OPTIMAL_SIZES;
-use mcs_networks::search::{parallel_search, ParallelSearchConfig, SearchSpace};
+use mcs_networks::search::{
+    parallel_search, MoveSet, ParallelSearchConfig, SearchSpace,
+};
 use mcs_networks::verify::zero_one_verify;
 
 /// The pinned CI budget (keep in sync with README / CHANGES notes).
@@ -72,5 +74,22 @@ fn rediscovers_the_optimal_eight_sorter() {
         assert_eq!(reloaded.to_text(), artifact.to_text());
         assert_eq!(reloaded.network.size(), 19);
         assert_eq!(reloaded.master_seed, 2018);
+    }
+
+    // Warm-start resume, in process: the cached incumbent already meets
+    // the stop-at-size target, so a warm-started run with a tiny budget
+    // returns it unchanged — the cheap end of a chained hunt. (CI repeats
+    // this across processes with `find_network --warm-start`.)
+    for workers in [1usize, 4] {
+        let mut warm = smoke_config();
+        warm.space = SearchSpace::Free;
+        warm.moves = MoveSet::Extended;
+        warm.iterations = 1_000;
+        warm.workers = workers;
+        warm.warm_start_from_artifact(&artifact).expect("cached artifact seeds");
+        let resumed = parallel_search(&warm)
+            .expect("warm config is valid")
+            .expect("warm-started search never returns None");
+        assert_eq!(resumed, artifact.network, "workers={workers}");
     }
 }

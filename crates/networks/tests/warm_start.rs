@@ -1,0 +1,307 @@
+//! Resume-determinism suite for warm-started searches.
+//!
+//! The contract under test (see `mcs_networks::search` module docs):
+//!
+//! * **resume determinism** — a warm-started `parallel_search` returns a
+//!   byte-identical network on every run and at every worker count;
+//! * **monotonicity** — the result is never larger than the incumbent, and
+//!   never `None` (the incumbent itself is the fallback answer);
+//! * **typed rejection** — a channel mismatch or a non-sorting incumbent
+//!   artifact is an `Err` before any thread spawns, never a panic or a
+//!   wasted search.
+
+use mcs_networks::generators::{batcher_odd_even, insertion};
+use mcs_networks::io::{NetworkArtifact, NetworkArtifactError};
+use mcs_networks::optimal::best_size;
+use mcs_networks::search::{
+    parallel_search, MoveSet, ParallelSearchConfig, SearchError, SearchSpace,
+    WarmStartError,
+};
+use mcs_networks::verify::zero_one_verify;
+use mcs_networks::Network;
+
+/// A deliberately non-optimal incumbent with head-room to improve:
+/// Batcher's 6-channel odd-even network.
+fn incumbent() -> Network {
+    batcher_odd_even(6)
+}
+
+fn warm_config(incumbent: &Network) -> ParallelSearchConfig {
+    let mut config = ParallelSearchConfig::new(6, incumbent.depth());
+    config.iterations = 25_000;
+    config.restarts = 6;
+    config.master_seed = 2018;
+    config.moves = MoveSet::Extended;
+    config.warm_start = Some(incumbent.clone());
+    config
+}
+
+#[test]
+fn warm_started_result_is_byte_identical_across_worker_counts() {
+    let incumbent = incumbent();
+    let mut results = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let mut sharded = warm_config(&incumbent);
+        sharded.workers = workers;
+        results.push(
+            parallel_search(&sharded)
+                .expect("valid config")
+                .expect("warm-started search never returns None"),
+        );
+    }
+    assert!(
+        results.windows(2).all(|w| w[0] == w[1]),
+        "worker count changed the warm-started result: {results:?}"
+    );
+    // And run-to-run, at a fixed sharding.
+    let mut rerun = warm_config(&incumbent);
+    rerun.workers = 4;
+    assert_eq!(
+        parallel_search(&rerun).unwrap().as_ref(),
+        Some(&results[0])
+    );
+    let net = &results[0];
+    assert!(zero_one_verify(net).is_ok());
+    assert!(net.size() <= incumbent.size(), "monotonicity");
+}
+
+#[test]
+fn warm_start_never_returns_a_larger_network_than_the_incumbent() {
+    // Insertion sort's 6-channel network is bloated (15 comparators, the
+    // optimum is 12): every budget, even a hopeless one, must come back
+    // with something no larger.
+    let bloated = insertion(6);
+    for iterations in [1u64, 100, 25_000] {
+        let mut config = ParallelSearchConfig::new(6, bloated.depth());
+        config.iterations = iterations;
+        config.restarts = 3;
+        config.master_seed = 7;
+        config.moves = MoveSet::Extended;
+        config.warm_start = Some(bloated.clone());
+        let net = parallel_search(&config)
+            .expect("valid config")
+            .expect("warm-started search never returns None");
+        assert!(
+            net.size() <= bloated.size(),
+            "iterations={iterations}: {} > {}",
+            net.size(),
+            bloated.size()
+        );
+        assert!(zero_one_verify(&net).is_ok());
+    }
+}
+
+#[test]
+fn warm_start_with_a_modest_budget_improves_the_bloated_incumbent() {
+    // With a real (still sub-second) budget the warm-started search must
+    // actually move: 15-comparator insertion(6) refines strictly below 15.
+    let bloated = insertion(6);
+    let mut config = ParallelSearchConfig::new(6, bloated.depth());
+    config.iterations = 40_000;
+    config.restarts = 4;
+    config.master_seed = 2018;
+    config.moves = MoveSet::Extended;
+    config.warm_start = Some(bloated.clone());
+    let net = parallel_search(&config).unwrap().expect("never None");
+    assert!(
+        net.size() < bloated.size(),
+        "no improvement over the {}-comparator incumbent",
+        bloated.size()
+    );
+}
+
+#[test]
+fn unimprovable_incumbent_comes_back_unchanged() {
+    // The optimal 12-comparator 6-sorter cannot be beaten, so the driver's
+    // monotone fallback must return the incumbent itself — byte for byte,
+    // at every worker count.
+    let optimal = best_size(6).unwrap();
+    for workers in [1usize, 3] {
+        let mut config = ParallelSearchConfig::new(6, optimal.depth());
+        config.iterations = 10_000;
+        config.restarts = 4;
+        config.master_seed = 11;
+        config.moves = MoveSet::Extended;
+        config.warm_start = Some(optimal.clone());
+        config.workers = workers;
+        assert_eq!(parallel_search(&config).unwrap(), Some(optimal.clone()));
+    }
+}
+
+#[test]
+fn incumbent_meeting_the_target_returns_immediately() {
+    // stop_at_size already satisfied by the incumbent: the answer is the
+    // incumbent, returned before any restart runs (the iteration budget is
+    // 1, so an actual search could not possibly rediscover it).
+    let optimal = best_size(6).unwrap();
+    let mut config = ParallelSearchConfig::new(6, optimal.depth());
+    config.iterations = 1;
+    config.restarts = 1;
+    config.warm_start = Some(optimal.clone());
+    config.stop_at_size = Some(optimal.size());
+    assert_eq!(parallel_search(&config).unwrap(), Some(optimal));
+}
+
+#[test]
+fn warm_start_channel_mismatch_is_rejected_before_any_thread_spawns() {
+    // Directly on the config …
+    let mut config = ParallelSearchConfig::new(6, 6);
+    config.warm_start = Some(best_size(4).unwrap());
+    assert_eq!(
+        parallel_search(&config).unwrap_err(),
+        SearchError::WarmStartChannelMismatch { incumbent: 4, channels: 6 }
+    );
+    // … and through the artifact convenience, which additionally names the
+    // config class of the failure.
+    let artifact = NetworkArtifact::new(best_size(4).unwrap(), 9);
+    let mut config = ParallelSearchConfig::new(6, 6);
+    assert_eq!(
+        config.warm_start_from_artifact(&artifact).unwrap_err(),
+        WarmStartError::Config(SearchError::WarmStartChannelMismatch {
+            incumbent: 4,
+            channels: 6,
+        })
+    );
+    assert!(config.warm_start.is_none(), "rejected artifacts never seed");
+}
+
+#[test]
+fn non_sorting_artifacts_are_rejected_before_any_thread_spawns() {
+    // Two channels, no comparators: loadable, but not a sorter. The
+    // re-verification gate fires in `warm_start_from_artifact`, so the
+    // search config is never seeded at all.
+    let bogus = NetworkArtifact::new(Network::new(2), 0);
+    let mut config = ParallelSearchConfig::new(2, 2);
+    let err = config.warm_start_from_artifact(&bogus).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            WarmStartError::Artifact(NetworkArtifactError::NotASorter { .. })
+        ),
+        "{err:?}"
+    );
+    assert!(config.warm_start.is_none());
+    assert!(err.to_string().contains("does not sort"));
+}
+
+#[test]
+fn artifact_convenience_rejects_incumbents_beyond_the_depth_budget() {
+    let deep = NetworkArtifact::new(insertion(6), 3); // depth 9
+    let mut config = ParallelSearchConfig::new(6, 4);
+    assert_eq!(
+        config.warm_start_from_artifact(&deep).unwrap_err(),
+        WarmStartError::Config(SearchError::WarmStartTooDeep {
+            depth: deep.network.depth(),
+            max_depth: 4,
+        })
+    );
+    // With enough depth budget the same artifact seeds cleanly.
+    let mut config = ParallelSearchConfig::new(6, deep.network.depth());
+    config.warm_start_from_artifact(&deep).expect("fits now");
+    assert_eq!(config.warm_start, Some(deep.network.clone()));
+}
+
+#[test]
+fn hand_set_non_sorting_incumbents_are_rejected_too() {
+    // Bypassing the artifact convenience and setting `warm_start` directly
+    // must hit the same gate: the monotone fallback can return the
+    // incumbent verbatim, so `validate` re-verifies it before any thread
+    // spawns and a non-sorter is a typed error, never an Ok(non-sorter).
+    let mut config = ParallelSearchConfig::new(3, 3);
+    config.warm_start = Some(Network::from_pairs(3, [(0, 1)]));
+    let err = parallel_search(&config).unwrap_err();
+    assert!(
+        matches!(err, SearchError::WarmStartNotASorter { .. }),
+        "{err:?}"
+    );
+    assert!(err.to_string().contains("does not sort"));
+    // Even when the incumbent would satisfy stop_at_size immediately.
+    let mut config = ParallelSearchConfig::new(3, 3);
+    config.warm_start = Some(Network::from_pairs(3, [(0, 1)]));
+    config.stop_at_size = Some(1);
+    assert!(matches!(
+        parallel_search(&config).unwrap_err(),
+        SearchError::WarmStartNotASorter { .. }
+    ));
+}
+
+#[test]
+fn warm_start_in_the_saturated_space_is_a_typed_error() {
+    let mut config = ParallelSearchConfig::new(6, 6);
+    config.space = SearchSpace::Saturated;
+    config.warm_start = Some(best_size(6).unwrap());
+    assert_eq!(
+        parallel_search(&config).unwrap_err(),
+        SearchError::WarmStartSaturated
+    );
+}
+
+#[test]
+fn cached_31_comparator_10_sorter_resumes_identically_at_any_worker_count() {
+    // The paper-instance acceptance case: cold-search the 10-channel
+    // instance to a ≤ 31-comparator sorter (the `search_10ch` bench
+    // configuration), cache it, and warm-start from the cache. The warm
+    // result must be byte-identical across worker counts and never larger
+    // than the incumbent.
+    let mut cold = ParallelSearchConfig::new(10, 8);
+    cold.space = SearchSpace::Saturated;
+    cold.iterations = 40_000;
+    cold.restarts = 16;
+    cold.master_seed = 7;
+    cold.workers = 4;
+    cold.stop_at_size = Some(31);
+    let cached = NetworkArtifact::new(
+        parallel_search(&cold)
+            .expect("cold config is valid")
+            .expect("a 10-sorter within the restart pool"),
+        cold.master_seed,
+    );
+    assert!(cached.network.size() <= 31);
+
+    let mut results = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let mut warm = ParallelSearchConfig::new(10, 8);
+        warm.iterations = 8_000;
+        warm.restarts = 4;
+        warm.master_seed = 2018;
+        warm.moves = MoveSet::Extended;
+        warm.workers = workers;
+        warm.warm_start_from_artifact(&cached).expect("cache seeds");
+        results.push(
+            parallel_search(&warm)
+                .expect("warm config is valid")
+                .expect("warm-started search never returns None"),
+        );
+    }
+    assert!(
+        results.windows(2).all(|w| w[0] == w[1]),
+        "worker count changed the warm 10-channel result"
+    );
+    let net = &results[0];
+    assert!(net.size() <= cached.network.size(), "monotonicity on 10 channels");
+    assert!(zero_one_verify(net).is_ok());
+}
+
+#[test]
+fn warm_start_composes_with_stop_at_size_deterministically() {
+    // Hunt strictly below the incumbent with an early-exit target: the
+    // answer (the hit from the lowest restart index, or the incumbent if
+    // no restart hits) must be sharding-independent.
+    let bloated = insertion(6);
+    let mut results = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let mut config = ParallelSearchConfig::new(6, bloated.depth());
+        config.iterations = 30_000;
+        config.restarts = 4;
+        config.master_seed = 5;
+        config.moves = MoveSet::Extended;
+        config.warm_start = Some(bloated.clone());
+        config.stop_at_size = Some(bloated.size() - 2);
+        config.workers = workers;
+        results.push(parallel_search(&config).expect("valid config"));
+    }
+    assert!(results.windows(2).all(|w| w[0] == w[1]), "{results:?}");
+    let net = results[0].as_ref().expect("never None");
+    assert!(net.size() <= bloated.size());
+    assert!(zero_one_verify(net).is_ok());
+}

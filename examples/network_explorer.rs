@@ -13,7 +13,9 @@ use mcs_netlist::serdes;
 use mcs_networks::generators::{batcher_odd_even, bitonic, insertion};
 use mcs_networks::io::NetworkArtifact;
 use mcs_networks::optimal::{best_depth, best_size, OPTIMAL_DEPTHS, OPTIMAL_SIZES};
-use mcs_networks::search::{parallel_search, ParallelSearchConfig, SearchSpace};
+use mcs_networks::search::{
+    parallel_search, MoveSet, ParallelSearchConfig, SearchSpace,
+};
 use mcs_networks::verify::zero_one_verify;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -105,6 +107,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "cached + reloaded + re-verified: target/explorer/eight_sort.mcsn ({})",
         reloaded.network
     );
+
+    // Resume instead of re-searching: warm-start the driver from the
+    // cached artifact. The incumbent already meets the stop-at-size
+    // target, so the resumed run returns it immediately — and a longer
+    // warm run could only ever improve on it (the driver is monotone).
+    let mut resume = ParallelSearchConfig::new(8, 7);
+    resume.iterations = 1_000;
+    resume.restarts = 2;
+    resume.master_seed = 2019;
+    resume.moves = MoveSet::Extended;
+    resume.stop_at_size = Some(19);
+    resume.warm_start_from_artifact(&reloaded)?;
+    let resumed = parallel_search(&resume)?.expect("warm starts never return None");
+    assert_eq!(resumed, reloaded.network);
+    println!("warm-started resume from the cache: {resumed} (no re-search needed)");
 
     // Export the 2-sort(4) for inspection with Graphviz or an EDA flow.
     let two_sort = build_two_sort(4, PrefixTopology::LadnerFischer);

@@ -12,7 +12,7 @@ use mcs::netlist::serdes;
 use mcs::netlist::synth::sop_for_table;
 use mcs::netlist::Netlist;
 use mcs::networks::generators::{batcher_odd_even, bitonic, insertion};
-use mcs::networks::io::NetworkArtifact;
+use mcs::networks::io::{NetworkArtifact, WarmStartProvenance};
 use mcs::networks::optimal::{best_depth, best_size};
 use mcs::networks::Network;
 use proptest::prelude::*;
@@ -119,15 +119,28 @@ fn network_strategy() -> impl Strategy<Value = Network> {
     })
 }
 
+/// Strategy: optional warm-start provenance — absent, or any parent seed
+/// and size (the formats must carry the extremes).
+fn provenance_strategy() -> impl Strategy<Value = Option<WarmStartProvenance>> {
+    prop_oneof![
+        Just(None),
+        (0u64..=u64::MAX, 0u32..=u32::MAX).prop_map(|(parent_seed, parent_size)| {
+            Some(WarmStartProvenance { parent_seed, parent_size })
+        }),
+    ]
+}
+
 proptest! {
     /// Random networks survive save→load→save byte-identically in both
-    /// forms, with the master seed preserved.
+    /// forms, with the master seed and any warm-start provenance preserved.
     #[test]
     fn network_artifacts_roundtrip_byte_identically(
         net in network_strategy(),
         seed in 0u64..=u64::MAX / 2,
+        provenance in provenance_strategy(),
     ) {
-        let artifact = NetworkArtifact::new(net, seed);
+        let mut artifact = NetworkArtifact::new(net, seed);
+        artifact.provenance = provenance;
         let text = artifact.to_text();
         let from_text = NetworkArtifact::from_text(&text).expect("text loads");
         prop_assert_eq!(&from_text, &artifact);
@@ -136,6 +149,49 @@ proptest! {
         let from_bytes = NetworkArtifact::from_bytes(&bytes).expect("binary loads");
         prop_assert_eq!(&from_bytes, &artifact);
         prop_assert_eq!(from_bytes.to_bytes(), bytes);
+        // A second full cycle pins save→load→save, not just load→save.
+        prop_assert_eq!(
+            NetworkArtifact::from_text(&from_text.to_text()).expect("reloads"),
+            from_text
+        );
+    }
+
+    /// Version compatibility: the same random networks, hand-written in
+    /// the v1 text and binary layouts (no provenance, shorter binary
+    /// header), still load — as provenance-free artifacts equal to their
+    /// v2 counterparts.
+    #[test]
+    fn headerless_v1_artifacts_still_load(
+        net in network_strategy(),
+        seed in 0u64..=u64::MAX / 2,
+    ) {
+        let expected = NetworkArtifact::new(net.clone(), seed);
+        // v1 text: the v2 writer's output with the version swapped (v1
+        // bodies are identical when there is no provenance).
+        let v1_text = expected
+            .to_text()
+            .replacen("mcs-network v2\n", "mcs-network v1\n", 1);
+        let from_text = NetworkArtifact::from_text(&v1_text).expect("v1 text loads");
+        prop_assert_eq!(&from_text, &expected);
+        // v1 binary: magic, version 1, channels, seed, size, depth, pairs
+        // — no provenance flag byte.
+        let mut v1_bytes = Vec::new();
+        v1_bytes.extend_from_slice(b"MCSN");
+        v1_bytes.extend_from_slice(&1u16.to_le_bytes());
+        v1_bytes.extend_from_slice(&(net.channels() as u16).to_le_bytes());
+        v1_bytes.extend_from_slice(&seed.to_le_bytes());
+        v1_bytes.extend_from_slice(&(net.size() as u32).to_le_bytes());
+        v1_bytes.extend_from_slice(&(net.depth() as u32).to_le_bytes());
+        for c in net.comparators() {
+            v1_bytes.extend_from_slice(&(c.lo() as u16).to_le_bytes());
+            v1_bytes.extend_from_slice(&(c.hi() as u16).to_le_bytes());
+        }
+        let from_bytes =
+            NetworkArtifact::from_bytes(&v1_bytes).expect("v1 binary loads");
+        prop_assert_eq!(&from_bytes, &expected);
+        // Re-saving a v1 load writes the current (v2) bytes.
+        prop_assert_eq!(from_text.to_text(), expected.to_text());
+        prop_assert_eq!(from_bytes.to_bytes(), expected.to_bytes());
     }
 
     /// Random netlists over the full cell set survive save→load→save

@@ -7,7 +7,9 @@
 //! * [`SeedableRng::from_seed`] — construction from exact seed material
 //!   (32 bytes for `StdRng`), used by the parallel network search to derive
 //!   independent per-restart streams from a master seed,
-//! * [`Rng::gen_range`] over integer ranges and [`Rng::gen_bool`].
+//! * [`Rng::gen_range`] over integer ranges and [`Rng::gen_bool`],
+//! * [`seq::SliceRandom::choose`] / [`seq::SliceRandom::shuffle`], used by
+//!   the search's permutation and relocation moves.
 //!
 //! The workspace builds with no network access, so the real crate cannot be
 //! fetched; this shim keeps call sites source-compatible. It is **not**
@@ -125,6 +127,45 @@ pub trait Rng: RngCore {
 }
 
 impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod seq {
+    //! Sequence-related helpers ([`SliceRandom`]).
+
+    use super::Rng;
+
+    /// Random selection and shuffling on slices — the subset of `rand`'s
+    /// `SliceRandom` this workspace uses.
+    pub trait SliceRandom {
+        /// Element type of the slice.
+        type Item;
+
+        /// Returns one uniformly chosen element, or `None` on an empty
+        /// slice (in which case no random word is drawn, so streams shared
+        /// with other call sites stay aligned).
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// Shuffles the slice in place (Fisher–Yates from the back, as the
+        /// real crate does). Slices of length 0 or 1 draw nothing.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                return None;
+            }
+            self.get(rng.gen_range(0..self.len()))
+        }
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, rng.gen_range(0..=i));
+            }
+        }
+    }
+}
 
 pub mod rngs {
     //! Concrete generators ([`StdRng`]).
@@ -263,6 +304,60 @@ mod tests {
         assert_ne!(a, [0u8; 32]);
         // 32 bytes = four distinct splitmix words, not one repeated.
         assert_ne!(a[..8], a[8..16]);
+    }
+
+    #[test]
+    fn slice_choose_and_shuffle_are_pinned() {
+        // Golden values for the seed-2018 stream: the search's permutation
+        // and relocation moves draw through these helpers, so their
+        // word-consumption pattern is part of the determinism contract —
+        // any change to choose/shuffle must fail here, not silently move
+        // every warm-started search trajectory.
+        use super::seq::SliceRandom;
+        let mut rng = StdRng::seed_from_u64(2018);
+        let v: Vec<u32> = (0..10).collect();
+        assert_eq!(v.choose(&mut rng), Some(&8));
+        assert_eq!(v.choose(&mut rng), Some(&9));
+        let mut w: Vec<u32> = (0..8).collect();
+        w.shuffle(&mut rng);
+        assert_eq!(w, vec![5, 4, 3, 2, 7, 6, 1, 0]);
+        let mut x: Vec<u32> = (0..5).collect();
+        x.shuffle(&mut rng);
+        assert_eq!(x, vec![4, 2, 3, 0, 1]);
+        // The stream position after the calls above is pinned too: choose
+        // draws one word, shuffle draws len-1.
+        assert_eq!(rng.next_u64(), 12854376264341178728);
+    }
+
+    #[test]
+    fn slice_choose_and_shuffle_edge_cases_draw_nothing() {
+        use super::seq::SliceRandom;
+        let empty: [u32; 0] = [];
+        let mut one = [7u32];
+        let mut a = StdRng::seed_from_u64(5);
+        assert_eq!(empty.choose(&mut a), None);
+        one.shuffle(&mut a);
+        assert_eq!(one, [7]);
+        // Neither call consumed a random word: the stream is untouched.
+        let mut b = StdRng::seed_from_u64(5);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_choose_stays_in_bounds() {
+        use super::seq::SliceRandom;
+        let mut rng = StdRng::seed_from_u64(99);
+        for len in [2usize, 3, 17, 64] {
+            let mut v: Vec<usize> = (0..len).collect();
+            v.shuffle(&mut rng);
+            let mut sorted = v.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..len).collect::<Vec<_>>(), "len {len}");
+            for _ in 0..100 {
+                let &k = v.choose(&mut rng).expect("non-empty");
+                assert!(k < len);
+            }
+        }
     }
 
     #[test]
