@@ -1,13 +1,13 @@
 //! Synthesis driver: comparator network × 2-sort flavour → a complete
-//! gate-level MC sorting circuit, re-verified, measured, and cached as a
-//! netlist artifact.
+//! gate-level MC sorting circuit, re-verified, measured, optionally
+//! optimized, and cached as a netlist artifact.
 //!
 //! Usage:
 //!
 //! ```text
 //! synth_circuit [--channels N] [--width B] [--flavor paper|bund2017|serial2016|bincomp]
-//!               [--network <network artifact>] [--save <path>]
-//! synth_circuit --load <path> [--channels N] [--width B] [--save <path>]
+//!               [--network <network artifact>] [--optimize] [--save <path>]
+//! synth_circuit --load <path> [--channels N] [--width B] [--optimize] [--save <path>]
 //! ```
 //!
 //! The network comes from the best-known optimal tables (`--channels`,
@@ -19,26 +19,88 @@
 //! extension picks the format (`.mcsnl` text artifact, `.mcsnlb` binary,
 //! `.v` structural Verilog, `.dot` Graphviz).
 //!
+//! `--optimize` runs the standard `mcs-netlist` pass pipeline (dead sweep,
+//! constant folding + strength reduction, CSE, depth rebalancing) to a
+//! fixpoint and prints a `repro_table7`-style before/after report: one row
+//! per changed pass application, then the optimized row and the relative
+//! improvement. The optimized netlist is re-verified (certified cells +
+//! gate-level 0-1 sweep) and its area/delay figures are independently
+//! recomputed and cross-checked against the optimizer's reported
+//! after-stats — a mismatch is a typed error, not a panic. With `--save`,
+//! the optimized netlist is what gets written.
+//!
 //! `--load` reverses the trip: a cached netlist artifact (any loadable
 //! format, including Verilog) is loaded, re-verified at gate level against
-//! `--channels`/`--width`, measured, and optionally re-exported through
-//! `--save` — so the binary doubles as a format converter
+//! `--channels`/`--width`, optionally optimized, measured, and re-exported
+//! through `--save` — so the binary doubles as a format converter
 //! (`--load c.mcsnl --save c.v`).
 
+use std::fmt;
 use std::path::Path;
 use std::process::ExitCode;
 
-use mcs_bench::artifact::{load_netlist, load_network, save_netlist};
-use mcs_bench::{format_row, measure, print_header};
+use mcs_bench::artifact::{
+    load_netlist, load_network, save_netlist, ArtifactError,
+};
+use mcs_bench::{format_row, improvement_pct, measure, print_header};
 use mcs_logic::{Trit, TritBlock};
 use mcs_netlist::mc::assert_mc_cells_only;
-use mcs_netlist::{Netlist, TechLibrary};
+use mcs_netlist::passes::PassManager;
+use mcs_netlist::{Netlist, NetlistFigures, TechLibrary};
 use mcs_networks::circuit::{build_sorting_circuit, TwoSortFlavor};
 use mcs_networks::io::NetworkArtifact;
 use mcs_networks::optimal::best_size;
 
 /// Largest channel count the gate-level 0-1 sweep enumerates (2^n lanes).
 const MAX_CHECK_CHANNELS: usize = 20;
+
+/// Everything that can go wrong in the driver, as typed variants instead
+/// of bare strings — `StatsMismatch` in particular turns the "optimizer
+/// reported figures the netlist does not have" case into a first-class
+/// error instead of a trusted header or a panic.
+#[derive(Debug)]
+enum SynthError {
+    /// Bad command line.
+    Usage(String),
+    /// Loading or saving an artifact failed.
+    Artifact(ArtifactError),
+    /// A gate-level re-verification failed (0-1 sweep, cell certification).
+    Verification(String),
+    /// The optimizer's reported after-figures disagree with an independent
+    /// recomputation on the optimized netlist.
+    StatsMismatch {
+        metric: &'static str,
+        reported: f64,
+        recomputed: f64,
+    },
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::Usage(msg) => write!(f, "{msg}"),
+            SynthError::Artifact(e) => write!(f, "{e}"),
+            SynthError::Verification(msg) => {
+                write!(f, "re-verification failed: {msg}")
+            }
+            SynthError::StatsMismatch {
+                metric,
+                reported,
+                recomputed,
+            } => write!(
+                f,
+                "optimizer stats mismatch: reported {metric} {reported} but \
+                 recomputation gives {recomputed}"
+            ),
+        }
+    }
+}
+
+impl From<ArtifactError> for SynthError {
+    fn from(e: ArtifactError) -> SynthError {
+        SynthError::Artifact(e)
+    }
+}
 
 /// Gate-level 0-1-principle re-verification: every 0-1 channel pattern
 /// (channel value replicated across its B bits — the rank-0 and rank-max
@@ -48,20 +110,20 @@ fn zero_one_circuit_check(
     netlist: &Netlist,
     channels: usize,
     width: usize,
-) -> Result<(), String> {
+) -> Result<(), SynthError> {
     if channels > MAX_CHECK_CHANNELS {
-        return Err(format!(
+        return Err(SynthError::Verification(format!(
             "{channels} channels exceed the exhaustive 0-1 bound of {MAX_CHECK_CHANNELS}"
-        ));
+        )));
     }
     if netlist.input_count() != channels * width
         || netlist.output_count() != channels * width
     {
-        return Err(format!(
+        return Err(SynthError::Verification(format!(
             "port counts ({} in / {} out) disagree with {channels} channels × {width} bits",
             netlist.input_count(),
             netlist.output_count()
-        ));
+        )));
     }
     let lanes = 1usize << channels;
     let inputs: Vec<TritBlock> = (0..channels * width)
@@ -83,9 +145,9 @@ fn zero_one_circuit_check(
             for b in 0..width {
                 let got = out[c * width + b].lane(m);
                 if got != want {
-                    return Err(format!(
+                    return Err(SynthError::Verification(format!(
                         "0-1 pattern {m:#b}: out{c}_b{b} = {got}, want {want}"
-                    ));
+                    )));
                 }
             }
         }
@@ -93,98 +155,173 @@ fn zero_one_circuit_check(
     Ok(())
 }
 
-fn fail(msg: impl std::fmt::Display) -> ExitCode {
-    eprintln!("synth_circuit: {msg}");
-    ExitCode::from(1)
+/// Runs the standard pass pipeline on `netlist`, prints the before/after
+/// report, re-verifies the result and cross-checks the reported figures.
+fn optimize(
+    netlist: Netlist,
+    channels: usize,
+    width: usize,
+    lib: &TechLibrary,
+) -> Result<Netlist, SynthError> {
+    let was_certified = assert_mc_cells_only(&netlist).is_ok();
+    let result = PassManager::standard().run(&netlist, lib);
+    for s in result.stats.iter().filter(|s| s.changed) {
+        println!(
+            "  [round {}] {:<11} gates {} -> {}  area {:.3} -> {:.3}  \
+             delay {:.0} -> {:.0}  depth {} -> {}",
+            s.round,
+            s.pass,
+            s.before.gates,
+            s.after.gates,
+            s.before.area_um2,
+            s.after.area_um2,
+            s.before.delay_ps,
+            s.after.delay_ps,
+            s.before.depth,
+            s.after.depth,
+        );
+    }
+    let optimized = result.netlist.clone();
+
+    // The optimized circuit must re-pass everything the input did.
+    if was_certified {
+        if let Err(e) = assert_mc_cells_only(&optimized) {
+            return Err(SynthError::Verification(format!(
+                "optimizer left the certified cell set: {e}"
+            )));
+        }
+    }
+    zero_one_circuit_check(&optimized, channels, width)?;
+
+    // Never trust reported figures: recompute on the netlist we actually
+    // hold and require agreement with the optimizer's after-stats.
+    let reported = result.after();
+    let recomputed = NetlistFigures::of(&optimized, lib);
+    let close = |a: f64, b: f64| (a - b).abs() <= 1e-6 * a.abs().max(1.0);
+    if reported.gates != recomputed.gates {
+        return Err(SynthError::StatsMismatch {
+            metric: "gates",
+            reported: reported.gates as f64,
+            recomputed: recomputed.gates as f64,
+        });
+    }
+    if reported.depth != recomputed.depth {
+        return Err(SynthError::StatsMismatch {
+            metric: "depth",
+            reported: reported.depth as f64,
+            recomputed: recomputed.depth as f64,
+        });
+    }
+    if !close(reported.area_um2, recomputed.area_um2) {
+        return Err(SynthError::StatsMismatch {
+            metric: "area_um2",
+            reported: reported.area_um2,
+            recomputed: recomputed.area_um2,
+        });
+    }
+    if !close(reported.delay_ps, recomputed.delay_ps) {
+        return Err(SynthError::StatsMismatch {
+            metric: "delay_ps",
+            reported: reported.delay_ps,
+            recomputed: recomputed.delay_ps,
+        });
+    }
+
+    let before = result.before();
+    println!("{}", format_row("optimized", &measure(&optimized, lib)));
+    println!(
+        "  improvement: gates {:.1}%  area {:.1}%  delay {:.1}%  \
+         ({} fixpoint rounds)",
+        improvement_pct(recomputed.gates as f64, before.gates as f64),
+        improvement_pct(recomputed.area_um2, before.area_um2),
+        improvement_pct(recomputed.delay_ps, before.delay_ps),
+        result.rounds,
+    );
+    Ok(optimized)
 }
 
-fn main() -> ExitCode {
+fn run() -> Result<(), SynthError> {
     let mut channels = 4usize;
     let mut width = 2usize;
     let mut flavor = TwoSortFlavor::Paper;
     let mut network_path: Option<String> = None;
     let mut save: Option<String> = None;
     let mut load_path: Option<String> = None;
+    let mut do_optimize = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
             args.next()
-                .ok_or_else(|| format!("{name} needs a value"))
+                .ok_or_else(|| SynthError::Usage(format!("{name} needs a value")))
         };
-        let result: Result<(), String> = match arg.as_str() {
-            "--channels" => value("--channels").and_then(|v| {
-                v.parse().map(|n| channels = n).map_err(|e| format!("--channels: {e}"))
-            }),
-            "--width" => value("--width").and_then(|v| {
-                v.parse().map(|w| width = w).map_err(|e| format!("--width: {e}"))
-            }),
-            "--flavor" => value("--flavor").and_then(|v| match v.as_str() {
-                "paper" => {
-                    flavor = TwoSortFlavor::Paper;
-                    Ok(())
-                }
-                "bund2017" => {
-                    flavor = TwoSortFlavor::Bund2017;
-                    Ok(())
-                }
-                "serial2016" => {
-                    flavor = TwoSortFlavor::Serial2016;
-                    Ok(())
-                }
-                "bincomp" => {
-                    flavor = TwoSortFlavor::BinComp;
-                    Ok(())
-                }
-                other => Err(format!("unknown flavor {other:?}")),
-            }),
-            "--network" => value("--network").map(|v| network_path = Some(v)),
-            "--save" => value("--save").map(|v| save = Some(v)),
-            "--load" => value("--load").map(|v| load_path = Some(v)),
-            other => Err(format!("unknown argument {other:?}")),
-        };
-        if let Err(e) = result {
-            return fail(e);
+        match arg.as_str() {
+            "--channels" => {
+                channels = value("--channels")?.parse().map_err(|e| {
+                    SynthError::Usage(format!("--channels: {e}"))
+                })?;
+            }
+            "--width" => {
+                width = value("--width")?
+                    .parse()
+                    .map_err(|e| SynthError::Usage(format!("--width: {e}")))?;
+            }
+            "--flavor" => {
+                let v = value("--flavor")?;
+                flavor = match v.as_str() {
+                    "paper" => TwoSortFlavor::Paper,
+                    "bund2017" => TwoSortFlavor::Bund2017,
+                    "serial2016" => TwoSortFlavor::Serial2016,
+                    "bincomp" => TwoSortFlavor::BinComp,
+                    other => {
+                        return Err(SynthError::Usage(format!(
+                            "unknown flavor {other:?}"
+                        )))
+                    }
+                };
+            }
+            "--network" => network_path = Some(value("--network")?),
+            "--save" => save = Some(value("--save")?),
+            "--load" => load_path = Some(value("--load")?),
+            "--optimize" => do_optimize = true,
+            other => {
+                return Err(SynthError::Usage(format!(
+                    "unknown argument {other:?}"
+                )))
+            }
         }
     }
     if width == 0 || width > 63 {
-        return fail("--width must be in 1..=63");
+        return Err(SynthError::Usage("--width must be in 1..=63".into()));
     }
 
     let lib = TechLibrary::paper_calibrated();
     let netlist = if let Some(path) = load_path {
         // Cache hit: load, then re-verify at gate level before trusting it.
-        let netlist = match load_netlist(Path::new(&path)) {
-            Ok(n) => n,
-            Err(e) => return fail(e),
-        };
-        if let Err(e) = zero_one_circuit_check(&netlist, channels, width) {
-            return fail(format!("{path}: re-verification failed: {e}"));
-        }
+        let netlist = load_netlist(Path::new(&path))?;
+        zero_one_circuit_check(&netlist, channels, width).map_err(|e| {
+            SynthError::Verification(format!("{path}: {e}"))
+        })?;
         eprintln!("loaded and re-verified {path}: {netlist}");
         netlist
     } else {
         let artifact: NetworkArtifact = if let Some(path) = network_path {
             // The cache path: a searched network is loaded (and re-verified
             // by the loader) instead of being re-searched.
-            match load_network(Path::new(&path)) {
-                Ok(a) => {
-                    eprintln!(
-                        "loaded cached network {path}: {} (seed {})",
-                        a.network, a.master_seed
-                    );
-                    channels = a.network.channels();
-                    a
-                }
-                Err(e) => return fail(e),
-            }
+            let a = load_network(Path::new(&path))?;
+            eprintln!(
+                "loaded cached network {path}: {} (seed {})",
+                a.network, a.master_seed
+            );
+            channels = a.network.channels();
+            a
         } else {
             match best_size(channels) {
                 Some(net) => NetworkArtifact::new(net, 0),
                 None => {
-                    return fail(format!(
+                    return Err(SynthError::Usage(format!(
                         "no optimal table for {channels} channels; pass --network <artifact>"
-                    ))
+                    )))
                 }
             }
         };
@@ -192,23 +329,39 @@ fn main() -> ExitCode {
         if flavor != TwoSortFlavor::BinComp {
             // MC flavours must stay within the certified cell set.
             if let Err(e) = assert_mc_cells_only(&netlist) {
-                return fail(format!("uncertified cell in MC flavour: {e}"));
+                return Err(SynthError::Verification(format!(
+                    "uncertified cell in MC flavour: {e}"
+                )));
             }
         }
-        if let Err(e) = zero_one_circuit_check(&netlist, channels, width) {
-            return fail(format!("instantiated circuit fails 0-1 check: {e}"));
-        }
+        zero_one_circuit_check(&netlist, channels, width).map_err(|e| {
+            SynthError::Verification(format!("instantiated circuit: {e}"))
+        })?;
         netlist
     };
 
     print_header(&format!("{channels}-channel × {width}-bit sorting circuit"));
     println!("{}", format_row(netlist.name(), &measure(&netlist, &lib)));
 
+    let netlist = if do_optimize {
+        optimize(netlist, channels, width, &lib)?
+    } else {
+        netlist
+    };
+
     if let Some(path) = save {
-        if let Err(e) = save_netlist(Path::new(&path), &netlist) {
-            return fail(e);
-        }
+        save_netlist(Path::new(&path), &netlist)?;
         eprintln!("saved netlist artifact to {path}");
     }
-    ExitCode::SUCCESS
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("synth_circuit: {e}");
+            ExitCode::from(1)
+        }
+    }
 }

@@ -23,6 +23,9 @@
 //!   Verilog importer closing the loop back to a [`Netlist`].
 //! * [`serdes`] — the versioned netlist artifact format (diffable text and
 //!   length-prefixed binary) with byte-identical save/load round-trip.
+//! * [`passes`] — ternary-exact optimization passes (constant folding,
+//!   CSE, dead sweep, depth rebalancing) behind a [`Pass`]/[`PassManager`]
+//!   framework with per-pass before/after figures.
 //!
 //! # Simulation tiers
 //!
@@ -106,6 +109,7 @@ pub mod gate;
 pub mod hazard;
 pub mod mc;
 pub mod netlist;
+pub mod passes;
 pub mod serdes;
 pub mod synth;
 pub mod tech;
@@ -116,5 +120,8 @@ pub use area::AreaReport;
 pub use gate::{CellKind, Gate, NodeId};
 pub use mcs_logic::{Trit, TritBlock, TritWord};
 pub use netlist::Netlist;
+pub use passes::{
+    NetlistFigures, OptimizeResult, Pass, PassManager, PassStats,
+};
 pub use tech::{CellSpec, CellTiming, TechLibrary};
 pub use timing::TimingReport;

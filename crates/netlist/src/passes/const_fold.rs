@@ -1,0 +1,397 @@
+//! Constant folding and strength reduction, exact over the ternary cell
+//! semantics.
+//!
+//! Every rule below is proven against the cell model of [`crate::gate`]:
+//! Kleene strong logic for the certified cells, *pessimistic* semantics
+//! (any metastable input poisons the output) for XOR/XNOR/AND-NOT/AO21,
+//! and select-only poisoning for MUX2. Rules that hold for plain boolean
+//! logic but **not** ternary are deliberately absent:
+//!
+//! * `and2(x, inv(x)) → 0` is wrong: `M · M̄ = M`, not 0.
+//! * `xor2(x, x) → 0` is wrong under pessimism: `M ⊕ M = M`.
+//! * `andnot2(x, 1) → 0` is wrong: a metastable `x` still poisons.
+//! * `mux2(x, x, s) → x` is wrong: a metastable select poisons even
+//!   agreeing data.
+//!
+//! The strength reductions (`inv(inv(x)) → x`, inverter absorption into
+//! NAND/NOR when the inverted gate has no other consumer) are what
+//! shrink the paper's 2-sort blocks: the selection stages invert prefix
+//! state wires that are themselves inverter outputs, so double
+//! inversions appear in every 2-sort instance.
+
+use crate::gate::{Gate, NodeId};
+use crate::netlist::Netlist;
+use crate::tech::TechLibrary;
+
+use super::{map_operands, rebuild, Pass, Rewrite};
+
+/// Constant folding + strength reduction over the ternary cell set.
+pub struct ConstFold;
+
+impl Pass for ConstFold {
+    fn name(&self) -> &'static str {
+        "const-fold"
+    }
+
+    fn run(&self, netlist: &Netlist, _lib: &TechLibrary) -> Netlist {
+        rebuild(netlist, &fold(netlist))
+    }
+}
+
+fn fold(netlist: &Netlist) -> Vec<Rewrite> {
+    let gates = netlist.gates();
+    let fanouts = netlist.fanouts();
+    // rep[i]: the node every use of i is redirected to (a representative).
+    let mut rep: Vec<u32> = (0..gates.len() as u32).collect();
+    // def[i]: the effective (rewritten, operand-substituted) gate of i.
+    let mut def: Vec<Gate> = Vec::with_capacity(gates.len());
+    let mut rewrites: Vec<Rewrite> = Vec::with_capacity(gates.len());
+
+    for (i, g) in gates.iter().enumerate() {
+        let g = map_operands(g, |d| NodeId(rep[d.index()]));
+        let rw = match g {
+            Gate::Input(_) | Gate::Const(_) => Rewrite::Keep(g),
+            _ => simplify(&g, &def, &fanouts),
+        };
+        match &rw {
+            Rewrite::Forward(t) => {
+                rep[i] = t.index() as u32;
+                def.push(def[t.index()]);
+            }
+            Rewrite::Keep(kept) => def.push(*kept),
+            Rewrite::Tree(_) => unreachable!("const-fold emits no trees"),
+        }
+        rewrites.push(rw);
+    }
+    rewrites
+}
+
+/// Simplifies one cell whose operands are already representatives.
+/// `def` gives the effective gate of every earlier node, `fanouts` the
+/// consumer counts in the *source* netlist (a profitability guard only —
+/// correctness never depends on it).
+fn simplify(g: &Gate, def: &[Gate], fanouts: &[u32]) -> Rewrite {
+    let cv = |d: NodeId| match def[d.index()] {
+        Gate::Const(b) => Some(b),
+        _ => None,
+    };
+
+    // Any cell with all-constant operands folds to the constant it
+    // computes: stable inputs give stable outputs for every cell kind.
+    if g.fanin().len() > 0 && g.fanin().all(|d| cv(d).is_some()) {
+        let value = g.eval(|d| mcs_logic::Trit::from(cv(d).unwrap()));
+        return Rewrite::Keep(Gate::Const(
+            value.to_bool().expect("stable in, stable out"),
+        ));
+    }
+
+    match *g {
+        Gate::Inv(a) => match def[a.index()] {
+            // inv(inv(x)) = x, exactly (¬ is an involution on {0, 1, M}).
+            Gate::Inv(b) => Rewrite::Forward(b),
+            // Absorb the inverter when it is the gate's only consumer:
+            // ¬(x·y) = nand(x,y) etc. are Kleene-exact, and the absorbed
+            // gate dies, so the pair strictly shrinks.
+            Gate::And2(x, y) if fanouts[a.index()] == 1 => {
+                Rewrite::Keep(Gate::Nand2(x, y))
+            }
+            Gate::Or2(x, y) if fanouts[a.index()] == 1 => {
+                Rewrite::Keep(Gate::Nor2(x, y))
+            }
+            Gate::Nand2(x, y) if fanouts[a.index()] == 1 => {
+                Rewrite::Keep(Gate::And2(x, y))
+            }
+            Gate::Nor2(x, y) if fanouts[a.index()] == 1 => {
+                Rewrite::Keep(Gate::Or2(x, y))
+            }
+            _ => Rewrite::Keep(*g),
+        },
+        Gate::And2(a, b) => {
+            if a == b {
+                Rewrite::Forward(a) // x·x = x, also for M
+            } else if cv(a) == Some(false) {
+                Rewrite::Forward(a) // 0·y = 0 (0 controls through M)
+            } else if cv(b) == Some(false) {
+                Rewrite::Forward(b)
+            } else if cv(a) == Some(true) {
+                Rewrite::Forward(b) // 1·y = y, also for y = M
+            } else if cv(b) == Some(true) {
+                Rewrite::Forward(a)
+            } else {
+                Rewrite::Keep(*g)
+            }
+        }
+        Gate::Or2(a, b) => {
+            if a == b {
+                Rewrite::Forward(a)
+            } else if cv(a) == Some(true) {
+                Rewrite::Forward(a) // 1+y = 1 (1 controls through M)
+            } else if cv(b) == Some(true) {
+                Rewrite::Forward(b)
+            } else if cv(a) == Some(false) {
+                Rewrite::Forward(b)
+            } else if cv(b) == Some(false) {
+                Rewrite::Forward(a)
+            } else {
+                Rewrite::Keep(*g)
+            }
+        }
+        Gate::Nand2(a, b) => {
+            if a == b {
+                Rewrite::Keep(Gate::Inv(a)) // ¬(x·x) = ¬x
+            } else if cv(a) == Some(false) || cv(b) == Some(false) {
+                Rewrite::Keep(Gate::Const(true)) // ¬(0·y) = 1, even for y = M
+            } else if cv(a) == Some(true) {
+                Rewrite::Keep(Gate::Inv(b)) // ¬(1·y) = ¬y
+            } else if cv(b) == Some(true) {
+                Rewrite::Keep(Gate::Inv(a))
+            } else {
+                Rewrite::Keep(*g)
+            }
+        }
+        Gate::Nor2(a, b) => {
+            if a == b {
+                Rewrite::Keep(Gate::Inv(a))
+            } else if cv(a) == Some(true) || cv(b) == Some(true) {
+                Rewrite::Keep(Gate::Const(false))
+            } else if cv(a) == Some(false) {
+                Rewrite::Keep(Gate::Inv(b))
+            } else if cv(b) == Some(false) {
+                Rewrite::Keep(Gate::Inv(a))
+            } else {
+                Rewrite::Keep(*g)
+            }
+        }
+        // Pessimistic cells: a constant operand never poisons, and the
+        // residual function is exact on both sides (x ⊕ 0 = x maps M → M
+        // through the forward just as the poisoned cell would).
+        Gate::Xor2(a, b) => match (cv(a), cv(b)) {
+            (_, Some(false)) => Rewrite::Forward(a),
+            (_, Some(true)) => Rewrite::Keep(Gate::Inv(a)),
+            (Some(false), _) => Rewrite::Forward(b),
+            (Some(true), _) => Rewrite::Keep(Gate::Inv(b)),
+            _ => Rewrite::Keep(*g),
+        },
+        Gate::Xnor2(a, b) => match (cv(a), cv(b)) {
+            (_, Some(true)) => Rewrite::Forward(a),
+            (_, Some(false)) => Rewrite::Keep(Gate::Inv(a)),
+            (Some(true), _) => Rewrite::Forward(b),
+            (Some(false), _) => Rewrite::Keep(Gate::Inv(b)),
+            _ => Rewrite::Keep(*g),
+        },
+        // MUX2 only poisons on a metastable *select*: a constant select
+        // steers exactly, even metastable data.
+        Gate::Mux2 { d0, d1, sel } => match cv(sel) {
+            Some(false) => Rewrite::Forward(d0),
+            Some(true) => Rewrite::Forward(d1),
+            None => Rewrite::Keep(*g),
+        },
+        // a · ¬0 = a (a metastable a poisons either way).
+        Gate::AndNot2(a, b) if cv(b) == Some(false) => Rewrite::Forward(a),
+        // AO21 folds only when fully constant (handled above): any single
+        // metastable input poisons it, so no operand identity is exact.
+        _ => Rewrite::Keep(*g),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::CellKind;
+    use mcs_logic::Trit;
+
+    fn run(n: &Netlist) -> Netlist {
+        ConstFold.run(n, &TechLibrary::paper_calibrated())
+    }
+
+    fn assert_ternary_equivalent(a: &Netlist, b: &Netlist) {
+        assert_eq!(a.input_count(), b.input_count());
+        let k = a.input_count();
+        let total = 3usize.pow(k as u32);
+        for idx in 0..total {
+            let mut v = Vec::with_capacity(k);
+            let mut rest = idx;
+            for _ in 0..k {
+                v.push(Trit::ALL[rest % 3]);
+                rest /= 3;
+            }
+            assert_eq!(a.eval(&v), b.eval(&v), "diverge on {v:?}");
+        }
+    }
+
+    #[test]
+    fn double_inversion_is_removed_exactly() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let x = n.inv(a);
+        let y = n.inv(x);
+        n.set_output("y", y);
+        let out = run(&n);
+        assert_eq!(out.gate_count(), 0, "both inverters fold away");
+        assert_ternary_equivalent(&n, &out);
+    }
+
+    #[test]
+    fn shared_inner_inverter_survives_double_inversion() {
+        // inv(a) feeds both the outer inverter and an output: the outer
+        // inv folds (inv-of-inv needs no fanout guard), the inner stays.
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let x = n.inv(a);
+        let y = n.inv(x);
+        n.set_output("x", x);
+        n.set_output("y", y);
+        let out = run(&n);
+        assert_eq!(out.gate_count(), 1);
+        assert_ternary_equivalent(&n, &out);
+    }
+
+    #[test]
+    fn and_with_constants_folds_to_identity_or_constant() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let one = n.constant(true);
+        let zero = n.constant(false);
+        let x = n.and2(a, one); // = a
+        let y = n.or2(a, zero); // = a
+        let z = n.and2(a, zero); // = 0
+        n.set_output("x", x);
+        n.set_output("y", y);
+        n.set_output("z", z);
+        let out = run(&n);
+        assert_eq!(out.gate_count(), 0);
+        // The identity outputs track a metastable a; the zero output not.
+        assert_eq!(
+            out.eval(&[Trit::Meta]),
+            vec![Trit::Meta, Trit::Meta, Trit::Zero]
+        );
+        assert_ternary_equivalent(&n, &out);
+    }
+
+    #[test]
+    fn all_const_cone_collapses_to_one_constant() {
+        let mut n = Netlist::new("t");
+        let one = n.constant(true);
+        let zero = n.constant(false);
+        let x = n.xor2(one, zero); // 1
+        let y = n.ao21(zero, x, one); // 0 + 1·1 = 1
+        let z = n.nand2(y, one); // 0
+        n.set_output("z", z);
+        let out = run(&n);
+        assert_eq!(out.gate_count(), 0);
+        assert_eq!(out.node_count(), 1, "one surviving constant node");
+        assert_eq!(out.eval(&[]), vec![Trit::Zero]);
+    }
+
+    #[test]
+    fn nand_of_equal_operands_becomes_inverter() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let x = n.nand2(a, a);
+        n.set_output("x", x);
+        let out = run(&n);
+        assert_eq!(out.gate_count(), 1);
+        assert_eq!(out.cell_counts()[&CellKind::Inv], 1);
+        assert_ternary_equivalent(&n, &out);
+    }
+
+    #[test]
+    fn single_fanout_and_absorbs_into_nand() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        let x = n.and2(a, b);
+        let y = n.inv(x);
+        n.set_output("y", y);
+        let out = run(&n);
+        assert_eq!(out.gate_count(), 1);
+        assert_eq!(out.cell_counts()[&CellKind::Nand2], 1);
+        assert_ternary_equivalent(&n, &out);
+    }
+
+    #[test]
+    fn shared_and_is_not_absorbed() {
+        // x drives both the inverter and an output: absorbing would
+        // duplicate logic, so the pair must stay.
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        let x = n.and2(a, b);
+        let y = n.inv(x);
+        n.set_output("x", x);
+        n.set_output("y", y);
+        let out = run(&n);
+        assert_eq!(out, n, "no profitable rewrite exists");
+    }
+
+    #[test]
+    fn mux_with_constant_select_steers_exactly() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        let zero = n.constant(false);
+        let x = n.mux2(a, b, zero); // = a, even for metastable a
+        n.set_output("x", x);
+        let out = run(&n);
+        assert_eq!(out.gate_count(), 0);
+        assert_eq!(
+            out.eval(&[Trit::Meta, Trit::One]),
+            vec![Trit::Meta],
+            "constant select must not poison metastable data"
+        );
+        assert_ternary_equivalent(&n, &out);
+    }
+
+    #[test]
+    fn pessimistic_identities_fold() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let one = n.constant(true);
+        let zero = n.constant(false);
+        let x = n.xor2(a, zero); // = a (M ⊕ 0 = M either way)
+        let y = n.xnor2(one, a); // = a
+        let z = n.andnot2(a, zero); // = a
+        let w = n.xor2(a, one); // = ¬a
+        n.set_output("x", x);
+        n.set_output("y", y);
+        n.set_output("z", z);
+        n.set_output("w", w);
+        let out = run(&n);
+        assert_eq!(out.gate_count(), 1, "only the ¬a inverter remains");
+        assert_ternary_equivalent(&n, &out);
+    }
+
+    #[test]
+    fn no_boolean_only_folds() {
+        // The rules that are boolean-valid but ternary-wrong must not fire.
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let na = n.inv(a);
+        let x = n.and2(a, na); // NOT 0: M·M̄ = M
+        let y = n.xor2(a, a); // NOT 0: pessimistic M
+        let s = n.input("s");
+        let m = n.mux2(a, a, s); // NOT a: metastable s poisons
+        n.set_output("x", x);
+        n.set_output("y", y);
+        n.set_output("m", m);
+        let out = run(&n);
+        assert_eq!(out.gate_count(), n.gate_count());
+        assert_ternary_equivalent(&n, &out);
+    }
+
+    #[test]
+    fn folding_is_idempotent() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        let one = n.constant(true);
+        let x = n.and2(a, one);
+        let y = n.inv(x);
+        let z = n.inv(y);
+        let w = n.or2(z, b);
+        n.set_output("w", w);
+        let once = run(&n);
+        let twice = run(&once);
+        assert_eq!(once, twice);
+    }
+}

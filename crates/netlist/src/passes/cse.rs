@@ -1,0 +1,181 @@
+//! Common-subexpression sharing by hash-consing on gate signatures.
+//!
+//! Two cells compute the same ternary function whenever they have the
+//! same kind and the same (already-shared) operands — for the commutative
+//! kinds (AND/OR/NAND/NOR/XOR/XNOR, and the AND-side pair of AO21) up to
+//! operand order. The pass scans in topological order, keeps the first
+//! occurrence of each signature, and forwards every later duplicate to it, so
+//! sharing cascades: once two subtrees merge, their structurally equal
+//! consumers merge too. Duplicate constant drivers deduplicate the same
+//! way. Primary inputs are never merged (distinct ports are distinct
+//! signals even if symmetric).
+
+use std::collections::HashMap;
+
+use crate::gate::{Gate, NodeId};
+use crate::netlist::Netlist;
+use crate::tech::TechLibrary;
+
+use super::{map_operands, rebuild, Pass, Rewrite};
+
+/// Structural sharing of identical gates (hash-consing).
+pub struct Cse;
+
+impl Pass for Cse {
+    fn name(&self) -> &'static str {
+        "cse"
+    }
+
+    fn run(&self, netlist: &Netlist, _lib: &TechLibrary) -> Netlist {
+        let gates = netlist.gates();
+        let mut rep: Vec<u32> = (0..gates.len() as u32).collect();
+        let mut seen: HashMap<Gate, usize> = HashMap::new();
+        let mut rewrites: Vec<Rewrite> = Vec::with_capacity(gates.len());
+        for (i, g) in gates.iter().enumerate() {
+            if matches!(g, Gate::Input(_)) {
+                rewrites.push(Rewrite::Keep(*g));
+                continue;
+            }
+            let g = map_operands(g, |d| NodeId(rep[d.index()]));
+            match seen.get(&canonical(&g)) {
+                Some(&first) => {
+                    rep[i] = first as u32;
+                    rewrites.push(Rewrite::Forward(NodeId(first as u32)));
+                }
+                None => {
+                    seen.insert(canonical(&g), i);
+                    // Keep the original operand order — only the map key
+                    // is canonicalised, so survivors are emitted verbatim.
+                    rewrites.push(Rewrite::Keep(g));
+                }
+            }
+        }
+        rebuild(netlist, &rewrites)
+    }
+}
+
+/// The lookup signature: commutative operand pairs are sorted so that
+/// `and2(a, b)` and `and2(b, a)` share. Commutativity is exact in the
+/// ternary model for all of these (Kleene AND/OR and their complements
+/// are symmetric; the pessimistic cells poison symmetrically).
+fn canonical(g: &Gate) -> Gate {
+    let sorted = |a: NodeId, b: NodeId| if a <= b { (a, b) } else { (b, a) };
+    match *g {
+        Gate::And2(a, b) => {
+            let (a, b) = sorted(a, b);
+            Gate::And2(a, b)
+        }
+        Gate::Or2(a, b) => {
+            let (a, b) = sorted(a, b);
+            Gate::Or2(a, b)
+        }
+        Gate::Nand2(a, b) => {
+            let (a, b) = sorted(a, b);
+            Gate::Nand2(a, b)
+        }
+        Gate::Nor2(a, b) => {
+            let (a, b) = sorted(a, b);
+            Gate::Nor2(a, b)
+        }
+        Gate::Xor2(a, b) => {
+            let (a, b) = sorted(a, b);
+            Gate::Xor2(a, b)
+        }
+        Gate::Xnor2(a, b) => {
+            let (a, b) = sorted(a, b);
+            Gate::Xnor2(a, b)
+        }
+        Gate::Ao21 { a, b, c } => {
+            let (b, c) = sorted(b, c);
+            Gate::Ao21 { a, b, c }
+        }
+        // Inv, Const, Mux2 (order-sensitive), AndNot2 (non-commutative)
+        // and Input are their own signature.
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_logic::Trit;
+
+    fn run(n: &Netlist) -> Netlist {
+        Cse.run(n, &TechLibrary::paper_calibrated())
+    }
+
+    #[test]
+    fn merges_exactly_three_duplicates_cascading() {
+        // Three structurally equal ANDs (one commuted) collapse to one;
+        // the ORs above them then become equal and collapse too: exactly
+        // 3 of the 5 gates merge away.
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        let c = n.input("c");
+        let x1 = n.and2(a, b);
+        let x2 = n.and2(b, a); // duplicate (commuted)
+        let x3 = n.and2(a, b); // duplicate (verbatim)
+        let y1 = n.or2(x1, c);
+        let y2 = n.or2(x3, c); // duplicate once x3 → x1
+        n.set_output("y1", y1);
+        n.set_output("y2", y2);
+        n.set_output("x2", x2);
+        let out = run(&n);
+        assert_eq!(n.gate_count(), 5);
+        assert_eq!(out.gate_count(), 2, "exactly 3 gates merge");
+        for v in [
+            [Trit::One, Trit::Meta, Trit::Zero],
+            [Trit::Meta, Trit::Meta, Trit::One],
+            [Trit::One, Trit::One, Trit::Zero],
+        ] {
+            assert_eq!(n.eval(&v), out.eval(&v));
+        }
+    }
+
+    #[test]
+    fn inputs_and_noncommutative_cells_do_not_merge() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        let x = n.andnot2(a, b);
+        let y = n.andnot2(b, a); // different function — must survive
+        let m1 = n.mux2(a, b, a);
+        let m2 = n.mux2(b, a, a); // data swapped — must survive
+        n.set_output("x", x);
+        n.set_output("y", y);
+        n.set_output("m1", m1);
+        n.set_output("m2", m2);
+        let out = run(&n);
+        assert_eq!(out.gate_count(), 4);
+    }
+
+    #[test]
+    fn duplicate_constants_deduplicate() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let one1 = n.constant(true);
+        let one2 = n.constant(true);
+        let x = n.and2(a, one1);
+        let y = n.or2(a, one2);
+        n.set_output("x", x);
+        n.set_output("y", y);
+        let out = run(&n);
+        assert_eq!(out.node_count(), n.node_count() - 1);
+        assert_eq!(out.eval(&[Trit::Meta]), n.eval(&[Trit::Meta]));
+    }
+
+    #[test]
+    fn sharing_is_idempotent() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        let x1 = n.nand2(a, b);
+        let x2 = n.nand2(b, a);
+        let y = n.or2(x1, x2);
+        n.set_output("y", y);
+        let once = run(&n);
+        assert_eq!(once.gate_count(), 2);
+        assert_eq!(run(&once), once);
+    }
+}

@@ -1,0 +1,89 @@
+//! Dead-gate sweep: drop every gate outside the primary-output cone.
+//!
+//! The sweep itself lives in the shared `rebuild` machinery of the parent
+//! module — every pass's rebuild traces liveness from the outputs — so
+//! this pass is the identity rewrite plus that sweep. Running it first in
+//! the standard pipeline attributes pre-existing dead logic to this pass
+//! instead of to whichever rewrite happens to run first.
+//!
+//! Primary inputs are never swept: the port interface is part of the
+//! netlist contract even when an input feeds no live logic.
+
+use crate::netlist::Netlist;
+use crate::tech::TechLibrary;
+
+use super::{rebuild, Pass, Rewrite};
+
+/// Removes gates unreachable from the primary outputs.
+pub struct DeadSweep;
+
+impl Pass for DeadSweep {
+    fn name(&self) -> &'static str {
+        "dead-sweep"
+    }
+
+    fn run(&self, netlist: &Netlist, _lib: &TechLibrary) -> Netlist {
+        let rewrites: Vec<Rewrite> =
+            netlist.gates().iter().map(|g| Rewrite::Keep(*g)).collect();
+        rebuild(netlist, &rewrites)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_logic::Trit;
+
+    fn run(n: &Netlist) -> Netlist {
+        DeadSweep.run(n, &TechLibrary::paper_calibrated())
+    }
+
+    #[test]
+    fn removes_exactly_the_dead_cone() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        let live = n.and2(a, b);
+        // A 4-gate dead cone hanging off the live logic.
+        let d1 = n.inv(live);
+        let d2 = n.or2(d1, a);
+        let d3 = n.nand2(d2, d1);
+        let _d4 = n.inv(d3);
+        n.set_output("f", live);
+        let out = run(&n);
+        assert_eq!(n.gate_count(), 5);
+        assert_eq!(out.gate_count(), 1, "exactly the 4 dead gates go");
+        assert_eq!(out.depth(), 1);
+        assert_eq!(out.input_count(), 2);
+        assert_eq!(out.eval(&[Trit::One, Trit::Meta]), vec![Trit::Meta]);
+    }
+
+    #[test]
+    fn dead_inputs_survive_with_their_ports() {
+        let mut n = Netlist::new("t");
+        let _unused = n.input("unused");
+        let a = n.input("a");
+        let x = n.inv(a);
+        n.set_output("x", x);
+        let out = run(&n);
+        assert_eq!(out.input_count(), 2);
+        assert_eq!(
+            out.input_names().collect::<Vec<_>>(),
+            vec!["unused", "a"]
+        );
+        // Port 1 still drives the inverter.
+        assert_eq!(out.eval(&[Trit::Meta, Trit::Zero]), vec![Trit::One]);
+    }
+
+    #[test]
+    fn clean_netlist_is_untouched() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        let x = n.nor2(a, b);
+        let y = n.inv(x);
+        n.set_output("x", x);
+        n.set_output("y", y);
+        assert_eq!(run(&n), n);
+    }
+}

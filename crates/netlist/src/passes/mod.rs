@@ -1,0 +1,559 @@
+//! Netlist optimization passes: semantics-preserving rewrites under the
+//! ternary (Kleene / pessimistic) cell model.
+//!
+//! Every pass implements [`Pass`]: a pure `Netlist → Netlist` function that
+//! must preserve the *exact per-lane ternary function* of the circuit — not
+//! just boolean equivalence. This is deliberately stronger than the paper's
+//! requirement: footnote 2 of the paper shows that boolean-equivalent
+//! restructuring can silently break metastable-closure exactness, so every
+//! rewrite rule here is proven exact over all ternary operand values. As a
+//! consequence, the closure verdict of [`crate::mc::verify_closure_exhaustive`]
+//! and the hazard verdict of [`crate::hazard::glitch_free_all_single_bit`]
+//! are *identical* before and after any pass (the same `Result`, violation
+//! for violation), which the `pass_differential` suite pins.
+//!
+//! The standard pipeline ([`PassManager::standard`]) runs, per round:
+//!
+//! 1. [`DeadSweep`] — drop gates outside the output cone.
+//! 2. [`ConstFold`] — constant folding and strength reduction (double
+//!    inversion, inverter absorption into NAND/NOR, operand identities).
+//! 3. [`Cse`] — common-subexpression sharing by hash-consing on gate
+//!    signatures (commutative operands canonicalised).
+//! 4. [`Rebalance`] — depth rebalancing of single-fanout AND/OR trees
+//!    under the calibrated area/delay model.
+//!
+//! [`PassManager::run`] iterates the pipeline to a fixpoint (or a round
+//! cap) and records before/after [`NetlistFigures`] per pass application.
+//!
+//! # Invariants every pass must keep
+//!
+//! * The primary-input interface is untouched: same inputs, same names,
+//!   same port order (even inputs the optimized logic no longer reads).
+//! * The primary-output interface keeps its names and declaration order;
+//!   only the driving nodes may change.
+//! * The output functions are ternary-exact: `eval_block` agrees lane for
+//!   lane with the input netlist on every input, stable or metastable.
+
+pub mod const_fold;
+pub mod cse;
+pub mod dead_sweep;
+pub mod rebalance;
+
+pub use const_fold::ConstFold;
+pub use cse::Cse;
+pub use dead_sweep::DeadSweep;
+pub use rebalance::Rebalance;
+
+use crate::area::AreaReport;
+use crate::gate::{Gate, NodeId};
+use crate::netlist::Netlist;
+use crate::tech::TechLibrary;
+use crate::timing::TimingReport;
+
+/// A netlist-to-netlist rewrite that preserves the exact ternary function
+/// of every primary output (see the module docs for the full contract).
+///
+/// ```
+/// use mcs_netlist::passes::{Pass, PassManager};
+/// use mcs_netlist::{Netlist, TechLibrary};
+///
+/// /// A pass that changes nothing — the identity rewrite.
+/// struct Noop;
+///
+/// impl Pass for Noop {
+///     fn name(&self) -> &'static str {
+///         "noop"
+///     }
+///     fn run(&self, netlist: &Netlist, _lib: &TechLibrary) -> Netlist {
+///         netlist.clone()
+///     }
+/// }
+///
+/// let mut n = Netlist::new("t");
+/// let a = n.input("a");
+/// let x = n.inv(a);
+/// n.set_output("x", x);
+///
+/// let lib = TechLibrary::paper_calibrated();
+/// let result = PassManager::new().with_pass(Noop).run(&n, &lib);
+/// assert_eq!(result.netlist, n); // fixpoint after one round
+/// assert_eq!(result.rounds, 1);
+/// ```
+pub trait Pass {
+    /// Short name used in reports and stats.
+    fn name(&self) -> &'static str;
+
+    /// Rewrites `netlist` under the technology model `lib`.
+    fn run(&self, netlist: &Netlist, lib: &TechLibrary) -> Netlist;
+}
+
+/// The four figures a pass application is measured by — the same metrics
+/// as the paper's tables (gates / area / delay, plus logic depth).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct NetlistFigures {
+    /// Standard-cell count (the paper's "# gates").
+    pub gates: usize,
+    /// Logic depth in levels.
+    pub depth: u32,
+    /// Modelled area in µm².
+    pub area_um2: f64,
+    /// Modelled critical-path delay in ps.
+    pub delay_ps: f64,
+}
+
+impl NetlistFigures {
+    /// Measures a netlist under a technology library.
+    pub fn of(netlist: &Netlist, lib: &TechLibrary) -> NetlistFigures {
+        NetlistFigures {
+            gates: netlist.gate_count(),
+            depth: netlist.depth(),
+            area_um2: AreaReport::of(netlist, lib).total_um2(),
+            delay_ps: TimingReport::of(netlist, lib).delay_ps(),
+        }
+    }
+}
+
+/// Before/after record of one pass application inside a manager run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PassStats {
+    /// The pass name.
+    pub pass: &'static str,
+    /// 1-based fixpoint round the application belongs to.
+    pub round: usize,
+    /// Figures before the pass ran.
+    pub before: NetlistFigures,
+    /// Figures after the pass ran.
+    pub after: NetlistFigures,
+    /// Whether the pass changed the netlist at all (structural inequality,
+    /// not just figures — a rewrite can reshape logic at equal cost).
+    pub changed: bool,
+}
+
+/// Result of a [`PassManager::run`]: the optimized netlist plus the full
+/// per-pass stats trail.
+#[derive(Clone, Debug)]
+pub struct OptimizeResult {
+    /// The optimized netlist.
+    pub netlist: Netlist,
+    /// One entry per pass application, in execution order.
+    pub stats: Vec<PassStats>,
+    /// Number of rounds executed (the last round is the one that changed
+    /// nothing, unless the round cap was hit).
+    pub rounds: usize,
+}
+
+impl OptimizeResult {
+    /// Figures of the netlist before the first pass ran.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the manager had no passes (no stats were recorded).
+    pub fn before(&self) -> NetlistFigures {
+        self.stats.first().expect("manager ran at least one pass").before
+    }
+
+    /// Figures of the netlist after the last pass ran.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the manager had no passes (no stats were recorded).
+    pub fn after(&self) -> NetlistFigures {
+        self.stats.last().expect("manager ran at least one pass").after
+    }
+}
+
+/// Runs a sequence of passes to a fixpoint.
+///
+/// ```
+/// use mcs_netlist::passes::PassManager;
+/// use mcs_netlist::{Netlist, TechLibrary};
+///
+/// // inv(inv(a)) — the standard pipeline strength-reduces it away.
+/// let mut n = Netlist::new("t");
+/// let a = n.input("a");
+/// let x = n.inv(a);
+/// let y = n.inv(x);
+/// n.set_output("y", y);
+///
+/// let result = PassManager::standard().run(&n, &TechLibrary::paper_calibrated());
+/// assert_eq!(result.netlist.gate_count(), 0); // y forwards straight to a
+/// assert_eq!(result.netlist.input_count(), 1); // ports are never dropped
+/// ```
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+    max_rounds: usize,
+}
+
+impl PassManager {
+    /// An empty manager (no passes). Add passes with
+    /// [`PassManager::with_pass`].
+    pub fn new() -> PassManager {
+        PassManager {
+            passes: Vec::new(),
+            max_rounds: 8,
+        }
+    }
+
+    /// The standard pipeline: dead sweep → constant folding → CSE →
+    /// rebalance, iterated to a fixpoint.
+    pub fn standard() -> PassManager {
+        PassManager::new()
+            .with_pass(DeadSweep)
+            .with_pass(ConstFold)
+            .with_pass(Cse)
+            .with_pass(Rebalance)
+    }
+
+    /// Appends a pass to the pipeline.
+    pub fn with_pass(mut self, pass: impl Pass + 'static) -> PassManager {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Caps the number of fixpoint rounds (default 8; the standard
+    /// pipeline's passes are individually idempotent, so real circuits
+    /// converge in 2–3 rounds).
+    pub fn with_max_rounds(mut self, rounds: usize) -> PassManager {
+        assert!(rounds > 0, "at least one round");
+        self.max_rounds = rounds;
+        self
+    }
+
+    /// Runs the pipeline on `netlist` until a full round changes nothing
+    /// or the round cap is reached.
+    pub fn run(&self, netlist: &Netlist, lib: &TechLibrary) -> OptimizeResult {
+        let mut current = netlist.clone();
+        let mut stats = Vec::new();
+        let mut rounds = 0;
+        for round in 1..=self.max_rounds {
+            rounds = round;
+            let at_round_start = current.clone();
+            for pass in &self.passes {
+                let before = NetlistFigures::of(&current, lib);
+                let next = pass.run(&current, lib);
+                let changed = next != current;
+                let after = NetlistFigures::of(&next, lib);
+                stats.push(PassStats {
+                    pass: pass.name(),
+                    round,
+                    before,
+                    after,
+                    changed,
+                });
+                current = next;
+            }
+            if current == at_round_start {
+                break;
+            }
+        }
+        OptimizeResult {
+            netlist: current,
+            stats,
+            rounds,
+        }
+    }
+}
+
+impl Default for PassManager {
+    fn default() -> PassManager {
+        PassManager::standard()
+    }
+}
+
+/// One node's fate under a rewrite, in the source netlist's id space.
+///
+/// Passes produce one `Rewrite` per source node; [`rebuild`] turns the
+/// vector into a fresh netlist, sweeping everything the output cone no
+/// longer reaches. Keeping the rewrite language this small is what makes
+/// each pass auditable against the ternary cell semantics.
+pub(crate) enum Rewrite {
+    /// Emit this gate (operand ids are source-netlist ids; they are
+    /// resolved through forwarding before emission).
+    Keep(Gate),
+    /// Replace every use of this node by an earlier node.
+    Forward(NodeId),
+    /// Replace this gate by a tree of AND/OR nodes over earlier nodes
+    /// (used by rebalancing, which must create new interior nodes).
+    Tree(Expr),
+}
+
+/// A replacement expression for [`Rewrite::Tree`]: AND/OR over source
+/// nodes. Both operators are associative and commutative in Kleene logic,
+/// so any tree over the same leaf multiset is ternary-exact.
+pub(crate) enum Expr {
+    /// An existing source node.
+    Ref(NodeId),
+    /// Kleene AND of two subtrees.
+    And(Box<Expr>, Box<Expr>),
+    /// Kleene OR of two subtrees.
+    Or(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    fn for_each_leaf(&self, f: &mut impl FnMut(NodeId)) {
+        match self {
+            Expr::Ref(n) => f(*n),
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                a.for_each_leaf(f);
+                b.for_each_leaf(f);
+            }
+        }
+    }
+}
+
+/// Materialises a rewrite vector into a fresh netlist.
+///
+/// * Forwarding chains are resolved to representatives (targets must
+///   strictly precede their node — all rewrites here forward backwards).
+/// * Liveness is traced from the primary outputs over kept gates, so any
+///   pass's rebuild also sweeps newly dead logic.
+/// * Primary inputs are always re-emitted in port order, dead or not: the
+///   port interface is part of the netlist's contract.
+pub(crate) fn rebuild(src: &Netlist, rewrites: &[Rewrite]) -> Netlist {
+    let n = src.node_count();
+    assert_eq!(rewrites.len(), n, "one rewrite per source node");
+    let gates = src.gates();
+
+    // Resolve forwarding to representatives (single pass: targets precede).
+    let mut rep: Vec<u32> = (0..n as u32).collect();
+    for (i, rw) in rewrites.iter().enumerate() {
+        if let Rewrite::Forward(t) = rw {
+            assert!(t.index() < i, "forward target must precede its node");
+            rep[i] = rep[t.index()];
+        }
+    }
+
+    // Liveness over representatives, traced backwards from the outputs.
+    let mut live = vec![false; n];
+    for (_, node) in src.outputs() {
+        live[rep[node.index()] as usize] = true;
+    }
+    for i in (0..n).rev() {
+        if !live[i] || rep[i] as usize != i {
+            continue;
+        }
+        match &rewrites[i] {
+            Rewrite::Keep(g) => {
+                for d in g.fanin() {
+                    live[rep[d.index()] as usize] = true;
+                }
+            }
+            Rewrite::Tree(e) => {
+                e.for_each_leaf(&mut |d| live[rep[d.index()] as usize] = true)
+            }
+            Rewrite::Forward(_) => unreachable!("representatives never forward"),
+        }
+    }
+
+    let input_names: Vec<&str> = src.input_names().collect();
+    let mut dst = Netlist::new(src.name());
+    let mut new_id: Vec<Option<NodeId>> = vec![None; n];
+    for i in 0..n {
+        if rep[i] as usize != i {
+            new_id[i] = new_id[rep[i] as usize];
+            continue;
+        }
+        let is_input = matches!(gates[i], Gate::Input(_));
+        if is_input {
+            // Inputs are sources, not rewritable logic.
+            let Rewrite::Keep(Gate::Input(port)) = rewrites[i] else {
+                panic!("passes must keep primary inputs untouched");
+            };
+            new_id[i] = Some(dst.input(input_names[port as usize]));
+            continue;
+        }
+        if !live[i] {
+            continue;
+        }
+        let emitted = match &rewrites[i] {
+            Rewrite::Keep(g) => emit_gate(&mut dst, g, &new_id, &rep),
+            Rewrite::Tree(e) => emit_expr(&mut dst, e, &new_id, &rep),
+            Rewrite::Forward(_) => unreachable!("representatives never forward"),
+        };
+        new_id[i] = Some(emitted);
+    }
+
+    for (name, node) in src.outputs() {
+        let driver = new_id[node.index()].expect("output cone is emitted");
+        dst.set_output(name, driver);
+    }
+    dst
+}
+
+fn resolve(d: NodeId, new_id: &[Option<NodeId>], rep: &[u32]) -> NodeId {
+    new_id[rep[d.index()] as usize].expect("operands are emitted before use")
+}
+
+fn emit_gate(
+    dst: &mut Netlist,
+    g: &Gate,
+    new_id: &[Option<NodeId>],
+    rep: &[u32],
+) -> NodeId {
+    let m = |d: NodeId| resolve(d, new_id, rep);
+    match *g {
+        Gate::Input(_) => unreachable!("inputs are emitted separately"),
+        Gate::Const(b) => dst.constant(b),
+        Gate::Inv(a) => {
+            let a = m(a);
+            dst.inv(a)
+        }
+        Gate::And2(a, b) => {
+            let (a, b) = (m(a), m(b));
+            dst.and2(a, b)
+        }
+        Gate::Or2(a, b) => {
+            let (a, b) = (m(a), m(b));
+            dst.or2(a, b)
+        }
+        Gate::Nand2(a, b) => {
+            let (a, b) = (m(a), m(b));
+            dst.nand2(a, b)
+        }
+        Gate::Nor2(a, b) => {
+            let (a, b) = (m(a), m(b));
+            dst.nor2(a, b)
+        }
+        Gate::Xor2(a, b) => {
+            let (a, b) = (m(a), m(b));
+            dst.xor2(a, b)
+        }
+        Gate::Xnor2(a, b) => {
+            let (a, b) = (m(a), m(b));
+            dst.xnor2(a, b)
+        }
+        Gate::Mux2 { d0, d1, sel } => {
+            let (d0, d1, sel) = (m(d0), m(d1), m(sel));
+            dst.mux2(d0, d1, sel)
+        }
+        Gate::AndNot2(a, b) => {
+            let (a, b) = (m(a), m(b));
+            dst.andnot2(a, b)
+        }
+        Gate::Ao21 { a, b, c } => {
+            let (a, b, c) = (m(a), m(b), m(c));
+            dst.ao21(a, b, c)
+        }
+    }
+}
+
+fn emit_expr(
+    dst: &mut Netlist,
+    e: &Expr,
+    new_id: &[Option<NodeId>],
+    rep: &[u32],
+) -> NodeId {
+    match e {
+        Expr::Ref(d) => resolve(*d, new_id, rep),
+        Expr::And(a, b) => {
+            let x = emit_expr(dst, a, new_id, rep);
+            let y = emit_expr(dst, b, new_id, rep);
+            dst.and2(x, y)
+        }
+        Expr::Or(a, b) => {
+            let x = emit_expr(dst, a, new_id, rep);
+            let y = emit_expr(dst, b, new_id, rep);
+            dst.or2(x, y)
+        }
+    }
+}
+
+/// Copies a gate with every operand mapped through `f`.
+pub(crate) fn map_operands(g: &Gate, mut f: impl FnMut(NodeId) -> NodeId) -> Gate {
+    match *g {
+        Gate::Input(p) => Gate::Input(p),
+        Gate::Const(b) => Gate::Const(b),
+        Gate::Inv(a) => Gate::Inv(f(a)),
+        Gate::And2(a, b) => Gate::And2(f(a), f(b)),
+        Gate::Or2(a, b) => Gate::Or2(f(a), f(b)),
+        Gate::Nand2(a, b) => Gate::Nand2(f(a), f(b)),
+        Gate::Nor2(a, b) => Gate::Nor2(f(a), f(b)),
+        Gate::Xor2(a, b) => Gate::Xor2(f(a), f(b)),
+        Gate::Xnor2(a, b) => Gate::Xnor2(f(a), f(b)),
+        Gate::Mux2 { d0, d1, sel } => Gate::Mux2 {
+            d0: f(d0),
+            d1: f(d1),
+            sel: f(sel),
+        },
+        Gate::AndNot2(a, b) => Gate::AndNot2(f(a), f(b)),
+        Gate::Ao21 { a, b, c } => Gate::Ao21 {
+            a: f(a),
+            b: f(b),
+            c: f(c),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_logic::Trit;
+
+    #[test]
+    fn manager_runs_passes_in_order_and_reaches_fixpoint() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        let x = n.and2(a, b);
+        let _dead = n.inv(x);
+        n.set_output("x", x);
+        let lib = TechLibrary::paper_calibrated();
+        let result = PassManager::standard().run(&n, &lib);
+        assert_eq!(result.netlist.gate_count(), 1);
+        assert_eq!(result.before().gates, 2);
+        assert_eq!(result.after().gates, 1);
+        // Pipeline order is recorded in the stats trail.
+        let names: Vec<&str> =
+            result.stats.iter().take(4).map(|s| s.pass).collect();
+        assert_eq!(names, ["dead-sweep", "const-fold", "cse", "rebalance"]);
+        assert!(result.stats[0].changed);
+        // Second run is a no-op: the pipeline is idempotent.
+        let again = PassManager::standard().run(&result.netlist, &lib);
+        assert_eq!(again.netlist, result.netlist);
+        assert!(again.stats.iter().all(|s| !s.changed));
+    }
+
+    #[test]
+    fn rebuild_preserves_dead_inputs_and_port_order() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b"); // never used
+        let c = n.input("c");
+        let x = n.and2(a, c);
+        n.set_output("x", x);
+        let _ = b;
+        let rewrites: Vec<Rewrite> =
+            n.gates().iter().map(|g| Rewrite::Keep(*g)).collect();
+        let out = rebuild(&n, &rewrites);
+        assert_eq!(out, n);
+        assert_eq!(
+            out.input_names().collect::<Vec<_>>(),
+            vec!["a", "b", "c"]
+        );
+        // Port binding survives: input 1 still feeds nothing, 0/2 the AND.
+        assert_eq!(
+            out.eval(&[Trit::One, Trit::Meta, Trit::One]),
+            vec![Trit::One]
+        );
+    }
+
+    #[test]
+    fn rebuild_resolves_forward_chains() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let x = n.inv(a);
+        let y = n.inv(x);
+        let z = n.inv(y);
+        n.set_output("z", z);
+        // Forward z → x through y's forward to x's position… chain of two.
+        let rewrites = vec![
+            Rewrite::Keep(Gate::Input(0)),
+            Rewrite::Keep(Gate::Inv(a)),
+            Rewrite::Forward(x),
+            Rewrite::Forward(y),
+        ];
+        let out = rebuild(&n, &rewrites);
+        assert_eq!(out.gate_count(), 1);
+        assert_eq!(out.eval(&[Trit::Zero]), vec![Trit::One]);
+    }
+}

@@ -1,0 +1,292 @@
+//! Depth rebalancing of AND/OR trees under the calibrated delay model.
+//!
+//! Kleene AND and OR are associative and commutative, so any tree over
+//! the same leaf multiset computes the same ternary function — unlike
+//! general boolean restructuring, reassociation cannot break closure
+//! exactness or introduce hazards in this model. The pass finds maximal
+//! single-fanout same-kind trees (the chains the builder's serial
+//! recursions produce), and re-associates each as a Huffman-style merge:
+//! repeatedly combine the two earliest-arriving subtrees, so late leaves
+//! sit near the root — the classic delay-optimal reassociation for a
+//! linear delay model. A tree is only replaced when the modelled root
+//! arrival strictly improves, which makes the pass idempotent and keeps
+//! already-balanced circuits (e.g. [`Netlist::and_tree`]) byte-stable.
+//!
+//! Gate count and leaf multiset never change — this pass trades nothing
+//! for depth; area is identical by construction.
+
+use crate::gate::{Gate, NodeId};
+use crate::netlist::Netlist;
+use crate::tech::TechLibrary;
+use crate::timing::TimingReport;
+
+use super::{rebuild, Expr, Pass, Rewrite};
+
+/// Arrival-driven reassociation of single-fanout AND/OR trees.
+pub struct Rebalance;
+
+impl Pass for Rebalance {
+    fn name(&self) -> &'static str {
+        "rebalance"
+    }
+
+    fn run(&self, netlist: &Netlist, lib: &TechLibrary) -> Netlist {
+        rebuild(netlist, &plan(netlist, lib))
+    }
+}
+
+#[derive(Copy, Clone, Eq, PartialEq)]
+enum TreeKind {
+    And,
+    Or,
+}
+
+impl TreeKind {
+    fn of(g: &Gate) -> Option<TreeKind> {
+        match g {
+            Gate::And2(..) => Some(TreeKind::And),
+            Gate::Or2(..) => Some(TreeKind::Or),
+            _ => None,
+        }
+    }
+}
+
+fn plan(netlist: &Netlist, lib: &TechLibrary) -> Vec<Rewrite> {
+    let gates = netlist.gates();
+    let n = gates.len();
+    let timing = TimingReport::of(netlist, lib);
+    let fanouts = netlist.fanouts();
+
+    // Output-driven nodes can never be absorbed into a consumer's tree:
+    // their wire must keep existing.
+    let mut drives_output = vec![false; n];
+    for (_, node) in netlist.outputs() {
+        drives_output[node.index()] = true;
+    }
+    // parent[j]: the unique consuming gate when fanout is exactly 1.
+    let mut parent = vec![usize::MAX; n];
+    for (i, g) in gates.iter().enumerate() {
+        for d in g.fanin() {
+            parent[d.index()] = i;
+        }
+    }
+    // A node folds into its consumer's tree iff it is the same kind, has
+    // exactly one consumer, and that consumer is a gate of the tree.
+    let absorbable = |j: usize, kind: TreeKind| {
+        TreeKind::of(&gates[j]) == Some(kind)
+            && fanouts[j] == 1
+            && !drives_output[j]
+            && TreeKind::of(&gates[parent[j]]) == Some(kind)
+    };
+
+    let mut rewrites: Vec<Rewrite> =
+        gates.iter().map(|g| Rewrite::Keep(*g)).collect();
+    for (i, g) in gates.iter().enumerate() {
+        let Some(kind) = TreeKind::of(g) else { continue };
+        if absorbable(i, kind) {
+            continue; // interior node — handled from its root
+        }
+        // Collect the tree's leaves (DFS, fan-in order → deterministic).
+        let mut leaves: Vec<NodeId> = Vec::new();
+        let mut stack: Vec<NodeId> = g.fanin().collect();
+        stack.reverse();
+        while let Some(d) = stack.pop() {
+            if absorbable(d.index(), kind) {
+                let mut fans: Vec<NodeId> = gates[d.index()].fanin().collect();
+                fans.reverse();
+                stack.extend(fans);
+            } else {
+                leaves.push(d);
+            }
+        }
+        if leaves.len() < 3 {
+            continue; // nothing to reassociate
+        }
+
+        // Huffman-style merge: always combine the two earliest subtrees.
+        // Interior nodes have fanout 1; the root keeps the original
+        // node's real fanout, so the estimate is exchangeable with the
+        // timing report's arrival for the original root.
+        let interior_delay = delay_of(kind, lib, 1);
+        let root_delay = delay_of(kind, lib, fanouts[i]);
+        let mut pool: Vec<(f64, usize, Expr)> = leaves
+            .iter()
+            .enumerate()
+            .map(|(seq, &d)| (timing.arrival_ps(d), seq, Expr::Ref(d)))
+            .collect();
+        let mut seq = pool.len();
+        while pool.len() > 1 {
+            let first = pop_min(&mut pool);
+            let second = pop_min(&mut pool);
+            let arrival = first.0.max(second.0) + interior_delay;
+            let expr = match kind {
+                TreeKind::And => {
+                    Expr::And(Box::new(first.2), Box::new(second.2))
+                }
+                TreeKind::Or => Expr::Or(Box::new(first.2), Box::new(second.2)),
+            };
+            pool.push((arrival, seq, expr));
+            seq += 1;
+        }
+        let (arrival, _, expr) = pool.pop().expect("one tree remains");
+        // The last merge is the root: swap its fanout-1 delay for the
+        // root's true fanout delay before comparing.
+        let estimate = arrival - interior_delay + root_delay;
+        if estimate + 1e-9 < timing.arrival_ps(NodeId(i as u32)) {
+            rewrites[i] = Rewrite::Tree(expr);
+        }
+    }
+    rewrites
+}
+
+fn delay_of(kind: TreeKind, lib: &TechLibrary, fanout: u32) -> f64 {
+    let cell = match kind {
+        TreeKind::And => crate::gate::CellKind::And2,
+        TreeKind::Or => crate::gate::CellKind::Or2,
+    };
+    lib.cell(cell).timing.delay_ps(fanout)
+}
+
+/// Removes and returns the entry with the smallest `(arrival, seq)` —
+/// the seq tie-break keeps the merge order deterministic.
+fn pop_min(pool: &mut Vec<(f64, usize, Expr)>) -> (f64, usize, Expr) {
+    let best = pool
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            a.0.partial_cmp(&b.0)
+                .expect("arrivals are finite")
+                .then(a.1.cmp(&b.1))
+        })
+        .map(|(i, _)| i)
+        .expect("pool is non-empty");
+    pool.swap_remove(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::CellKind;
+    use crate::tech::{CellSpec, CellTiming};
+    use mcs_logic::Trit;
+
+    /// Every cell: 1 ps, no fanout term — delay equals depth.
+    fn unit_lib() -> TechLibrary {
+        let mut lib = TechLibrary::nangate45_like();
+        for kind in CellKind::ALL {
+            lib = lib.with_cell(
+                kind,
+                CellSpec {
+                    area_um2: 1.0,
+                    timing: CellTiming {
+                        intrinsic_ps: 1.0,
+                        per_fanout_ps: 0.0,
+                    },
+                },
+            );
+        }
+        lib
+    }
+
+    fn assert_ternary_equivalent(a: &Netlist, b: &Netlist) {
+        assert_eq!(a.input_count(), b.input_count());
+        let k = a.input_count();
+        for idx in 0..3usize.pow(k as u32) {
+            let mut v = Vec::with_capacity(k);
+            let mut rest = idx;
+            for _ in 0..k {
+                v.push(Trit::ALL[rest % 3]);
+                rest /= 3;
+            }
+            assert_eq!(a.eval(&v), b.eval(&v), "diverge on {v:?}");
+        }
+    }
+
+    #[test]
+    fn skewed_and_chain_reaches_optimal_depth() {
+        // ((a·b)·c)·d — depth 3; the balanced tree has depth 2.
+        let mut n = Netlist::new("t");
+        let ins: Vec<_> = (0..4).map(|i| n.input(format!("i{i}"))).collect();
+        let mut acc = ins[0];
+        for &x in &ins[1..] {
+            acc = n.and2(acc, x);
+        }
+        n.set_output("f", acc);
+        assert_eq!(n.depth(), 3);
+        let out = Rebalance.run(&n, &unit_lib());
+        assert_eq!(out.depth(), 2, "optimal depth for 4 equal leaves");
+        assert_eq!(out.gate_count(), 3, "same gate count");
+        assert_ternary_equivalent(&n, &out);
+    }
+
+    #[test]
+    fn serial_or_chain_of_eight_becomes_logarithmic() {
+        let mut n = Netlist::new("t");
+        let ins: Vec<_> = (0..8).map(|i| n.input(format!("i{i}"))).collect();
+        let mut acc = ins[0];
+        for &x in &ins[1..] {
+            acc = n.or2(acc, x);
+        }
+        n.set_output("f", acc);
+        assert_eq!(n.depth(), 7);
+        let out = Rebalance.run(&n, &unit_lib());
+        assert_eq!(out.depth(), 3);
+        assert_eq!(out.gate_count(), 7);
+        assert_ternary_equivalent(&n, &out);
+    }
+
+    #[test]
+    fn late_leaf_sits_near_the_root() {
+        // A leaf behind 3 inverters arrives at t = 3; the delay-optimal
+        // tree merges the three early leaves first and the late one last,
+        // giving arrival 4 instead of the serial chain's 6.
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        let c = n.input("c");
+        let d = n.input("d");
+        let i1 = n.inv(d);
+        let i2 = n.inv(i1);
+        let late = n.inv(i2);
+        let t0 = n.and2(a, late);
+        let t1 = n.and2(t0, b);
+        let root = n.and2(t1, c);
+        n.set_output("f", root);
+        let lib = unit_lib();
+        assert_eq!(TimingReport::of(&n, &lib).delay_ps(), 6.0);
+        let out = Rebalance.run(&n, &lib);
+        assert_eq!(TimingReport::of(&out, &lib).delay_ps(), 4.0);
+        assert_ternary_equivalent(&n, &out);
+    }
+
+    #[test]
+    fn balanced_trees_and_shared_nodes_are_stable() {
+        let mut n = Netlist::new("t");
+        let ins: Vec<_> = (0..8).map(|i| n.input(format!("i{i}"))).collect();
+        let balanced = n.and_tree(&ins);
+        // A chain whose middle wire is also an output — the tree breaks
+        // there, leaving two 2-leaf subtrees that stay as they are.
+        let mid = n.or2(ins[0], ins[1]);
+        let top = n.or2(mid, ins[2]);
+        n.set_output("balanced", balanced);
+        n.set_output("mid", mid);
+        n.set_output("top", top);
+        let out = Rebalance.run(&n, &unit_lib());
+        assert_eq!(out, n, "no strict improvement exists");
+    }
+
+    #[test]
+    fn rebalancing_is_idempotent() {
+        let mut n = Netlist::new("t");
+        let ins: Vec<_> = (0..6).map(|i| n.input(format!("i{i}"))).collect();
+        let mut acc = ins[0];
+        for &x in &ins[1..] {
+            acc = n.or2(acc, x);
+        }
+        n.set_output("f", acc);
+        let lib = TechLibrary::paper_calibrated();
+        let once = Rebalance.run(&n, &lib);
+        assert!(once.depth() < n.depth());
+        assert_eq!(Rebalance.run(&once, &lib), once);
+    }
+}

@@ -61,6 +61,24 @@ fn four_sort_2b() -> Netlist {
     )
 }
 
+/// The 8-channel, 2-bit full sorting circuit (247 gates pre-optimization).
+fn eight_sort_2b() -> Netlist {
+    build_sorting_circuit(
+        &best_size(8).expect("n=8 table"),
+        2,
+        TwoSortFlavor::Paper,
+    )
+}
+
+/// The standard pass pipeline under the calibrated library — the same
+/// configuration `synth_circuit --optimize` runs, so these goldens pin
+/// the optimizer's output structurally, not just its figures.
+fn optimize(netlist: &Netlist) -> Netlist {
+    mcs::netlist::PassManager::standard()
+        .run(netlist, &TechLibrary::paper_calibrated())
+        .netlist
+}
+
 #[test]
 fn dot_of_two_sort_2_matches_golden() {
     assert_golden("two_sort_2.dot", &to_dot(&two_sort_2()));
@@ -87,6 +105,45 @@ fn netlist_artifact_of_two_sort_2_matches_golden() {
         "two_sort_2.mcsnl",
         &serdes::to_text(&two_sort_2()).expect("serialises"),
     );
+}
+
+#[test]
+fn optimized_netlist_artifact_of_four_sort_2b_matches_golden() {
+    assert_golden(
+        "four_sort_2b_opt.mcsnl",
+        &serdes::to_text(&optimize(&four_sort_2b())).expect("serialises"),
+    );
+}
+
+#[test]
+fn optimized_netlist_artifact_of_eight_sort_2b_matches_golden() {
+    assert_golden(
+        "eight_sort_2b_opt.mcsnl",
+        &serdes::to_text(&optimize(&eight_sort_2b())).expect("serialises"),
+    );
+}
+
+#[test]
+fn optimized_goldens_reload_as_the_reoptimized_build() {
+    // Determinism pin: the committed optimized artifact is exactly what
+    // optimizing today's builder output produces, and it really is
+    // smaller than the unoptimized circuit it came from.
+    for (golden, build) in [
+        ("four_sort_2b_opt.mcsnl", four_sort_2b as fn() -> Netlist),
+        ("eight_sort_2b_opt.mcsnl", eight_sort_2b),
+    ] {
+        let source = fs::read_to_string(golden_path(golden))
+            .unwrap_or_else(|e| panic!("missing golden {golden}: {e}"));
+        let loaded = serdes::from_text(&source).expect("golden loads");
+        let original = build();
+        assert_eq!(loaded, optimize(&original), "{golden}");
+        assert!(
+            loaded.gate_count() < original.gate_count(),
+            "{golden}: {} vs {}",
+            loaded.gate_count(),
+            original.gate_count()
+        );
+    }
 }
 
 #[test]

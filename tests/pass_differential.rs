@@ -1,0 +1,373 @@
+//! Lane-for-lane differential suite for the optimization passes.
+//!
+//! The pass contract is *ternary exactness*: for every pass and for the
+//! full fixpoint pipeline, the output netlist must agree with the input
+//! lane for lane under `eval_block` — on stable **and** metastable inputs
+//! — and must therefore reproduce the exact closure verdict of
+//! `verify_closure_exhaustive` and the exact hazard verdict of
+//! `glitch_free_all_single_bit` (both verdict types carry only
+//! input/output data, so full `Result` equality is well-defined across
+//! structurally different netlists).
+//!
+//! The generators extend the `netlist_random.rs` recipe pattern: a
+//! certified-cells variant (AND/OR/INV/NAND/NOR + constants) for the
+//! closure/hazard verdict tests, and a full-cell-set variant (XOR, XNOR,
+//! MUX2, AND-NOT, AO21, constants) so every fold rule's pessimistic
+//! semantics are exercised. Shrink-safety is covered by a deterministic
+//! manual shrinker (the vendored proptest has no shrinking engine):
+//! every shrunk variant of a case must still be a valid netlist and
+//! still satisfy the differential contract.
+
+use mcs::logic::{Trit, TritBlock};
+use mcs::netlist::hazard::glitch_free_all_single_bit;
+use mcs::netlist::mc::{assert_mc_cells_only, verify_closure_exhaustive};
+use mcs::netlist::passes::{
+    ConstFold, Cse, DeadSweep, Pass, PassManager, Rebalance,
+};
+use mcs::netlist::{Netlist, TechLibrary};
+use proptest::prelude::*;
+
+/// Recipe for one random gate: cell selector plus three source selectors.
+#[derive(Clone, Debug)]
+struct GateRecipe {
+    kind: u8,
+    a: usize,
+    b: usize,
+    c: usize,
+}
+
+/// Random recipes over the certified cell set plus constants (kinds 0..7).
+fn certified_strategy(
+    max_gates: usize,
+) -> impl Strategy<Value = (usize, Vec<GateRecipe>)> {
+    recipe_strategy(7, max_gates)
+}
+
+/// Random recipes over the full cell set (kinds 0..12): certified cells,
+/// constants, and every pessimistic cell.
+fn full_strategy(
+    max_gates: usize,
+) -> impl Strategy<Value = (usize, Vec<GateRecipe>)> {
+    recipe_strategy(12, max_gates)
+}
+
+fn recipe_strategy(
+    kinds: u8,
+    max_gates: usize,
+) -> impl Strategy<Value = (usize, Vec<GateRecipe>)> {
+    (2usize..=5).prop_flat_map(move |inputs| {
+        let gates = proptest::collection::vec(
+            (0u8..kinds, 0usize..1000, 0usize..1000, 0usize..1000)
+                .prop_map(|(kind, a, b, c)| GateRecipe { kind, a, b, c }),
+            1..max_gates,
+        );
+        (Just(inputs), gates)
+    })
+}
+
+/// Materialises a recipe into a netlist: sources index any previously
+/// created node (mod current count), so the circuit is always well-formed
+/// and acyclic. Kinds 0–4 are the certified cells, 5/6 constants, 7–11
+/// the pessimistic cells.
+fn build(inputs: usize, recipes: &[GateRecipe]) -> Netlist {
+    let mut n = Netlist::new("random");
+    let mut nodes = Vec::new();
+    for i in 0..inputs {
+        nodes.push(n.input(format!("i{i}")));
+    }
+    for r in recipes {
+        let a = nodes[r.a % nodes.len()];
+        let b = nodes[r.b % nodes.len()];
+        let c = nodes[r.c % nodes.len()];
+        let out = match r.kind {
+            0 => n.and2(a, b),
+            1 => n.or2(a, b),
+            2 => n.inv(a),
+            3 => n.nand2(a, b),
+            4 => n.nor2(a, b),
+            5 => n.constant(false),
+            6 => n.constant(true),
+            7 => n.xor2(a, b),
+            8 => n.xnor2(a, b),
+            9 => n.mux2(a, b, c),
+            10 => n.andnot2(a, b),
+            _ => n.ao21(a, b, c),
+        };
+        nodes.push(out);
+    }
+    // Expose the last few nodes as outputs.
+    for (k, &node) in nodes.iter().rev().take(3).enumerate() {
+        n.set_output(format!("o{k}"), node);
+    }
+    n
+}
+
+fn standard_passes() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(DeadSweep),
+        Box::new(ConstFold),
+        Box::new(Cse),
+        Box::new(Rebalance),
+    ]
+}
+
+/// Asserts `eval_block` lane-for-lane agreement of two netlists on the
+/// given >64-lane random ternary block, plus port-interface equality.
+fn assert_lane_for_lane(
+    original: &Netlist,
+    optimized: &Netlist,
+    seed_bits: &[u8],
+    lanes: usize,
+) {
+    assert_eq!(original.input_count(), optimized.input_count());
+    assert_eq!(
+        original.input_names().collect::<Vec<_>>(),
+        optimized.input_names().collect::<Vec<_>>()
+    );
+    assert_eq!(
+        original.outputs().map(|(name, _)| name).collect::<Vec<_>>(),
+        optimized.outputs().map(|(name, _)| name).collect::<Vec<_>>()
+    );
+    let inputs = original.input_count();
+    let blocks: Vec<TritBlock> = (0..inputs)
+        .map(|i| {
+            TritBlock::from_lanes(
+                &(0..lanes)
+                    .map(|lane| {
+                        Trit::ALL[seed_bits[(lane * inputs + i) % seed_bits.len()]
+                            as usize]
+                    })
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    let want = original.eval_block(&blocks);
+    let got = optimized.eval_block(&blocks);
+    assert_eq!(want.len(), got.len());
+    for (k, (w, g)) in want.iter().zip(&got).enumerate() {
+        for lane in 0..lanes {
+            assert_eq!(
+                w.lane(lane),
+                g.lane(lane),
+                "output {k} lane {lane} diverged"
+            );
+        }
+    }
+}
+
+/// All 2^n stable input vectors — the hazard sweep's transition sources.
+fn stable_vectors(inputs: usize) -> Vec<Vec<Trit>> {
+    (0..1usize << inputs)
+        .map(|m| {
+            (0..inputs)
+                .map(|i| Trit::from((m >> i) & 1 == 1))
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Each pass alone, and the full fixpoint pipeline, preserve the
+    /// ternary function lane for lane on random full-cell-set netlists
+    /// (the blocks span >64 lanes, so multi-word paths are exercised).
+    #[test]
+    fn passes_are_lane_for_lane_equivalent(
+        (inputs, recipes) in full_strategy(40),
+        seed_bits in proptest::collection::vec(0u8..3, 500),
+    ) {
+        let n = build(inputs, &recipes);
+        let lib = TechLibrary::paper_calibrated();
+        for pass in standard_passes() {
+            let out = pass.run(&n, &lib);
+            assert_lane_for_lane(&n, &out, &seed_bits, 100);
+        }
+        let optimized = PassManager::standard().run(&n, &lib).netlist;
+        prop_assert!(optimized.gate_count() <= n.gate_count());
+        assert_lane_for_lane(&n, &optimized, &seed_bits, 100);
+    }
+
+    /// On certified netlists the closure verdict is reproduced exactly —
+    /// including the *same first violation* for circuits that are not
+    /// closure-exact (random composition can legally be over-pessimistic;
+    /// the paper's footnote 2). Checked per pass and for the pipeline.
+    #[test]
+    fn passes_preserve_closure_verdict(
+        (inputs, recipes) in certified_strategy(25),
+    ) {
+        let n = build(inputs, &recipes);
+        prop_assert!(assert_mc_cells_only(&n).is_ok());
+        let lib = TechLibrary::paper_calibrated();
+        let want = verify_closure_exhaustive(&n);
+        for pass in standard_passes() {
+            let out = pass.run(&n, &lib);
+            prop_assert!(assert_mc_cells_only(&out).is_ok());
+            prop_assert_eq!(&verify_closure_exhaustive(&out), &want);
+        }
+        let optimized = PassManager::standard().run(&n, &lib).netlist;
+        prop_assert_eq!(&verify_closure_exhaustive(&optimized), &want);
+    }
+
+    /// The single-bit hazard sweep verdict (transition count, or the
+    /// exact first glitch) is reproduced per pass and for the pipeline.
+    #[test]
+    fn passes_preserve_hazard_verdict(
+        (inputs, recipes) in certified_strategy(25),
+    ) {
+        let n = build(inputs, &recipes);
+        let lib = TechLibrary::paper_calibrated();
+        let vectors = stable_vectors(inputs);
+        let want =
+            glitch_free_all_single_bit(&n, vectors.iter().map(Vec::as_slice));
+        for pass in standard_passes() {
+            let out = pass.run(&n, &lib);
+            let got = glitch_free_all_single_bit(
+                &out,
+                vectors.iter().map(Vec::as_slice),
+            );
+            prop_assert_eq!(&got, &want);
+        }
+        let optimized = PassManager::standard().run(&n, &lib).netlist;
+        let got = glitch_free_all_single_bit(
+            &optimized,
+            vectors.iter().map(Vec::as_slice),
+        );
+        prop_assert_eq!(&got, &want);
+    }
+
+    /// The pipeline is deterministic: two runs on the same input produce
+    /// structurally identical netlists (this is what pins the goldens).
+    #[test]
+    fn pipeline_is_deterministic_and_idempotent(
+        (inputs, recipes) in full_strategy(30),
+    ) {
+        let n = build(inputs, &recipes);
+        let lib = TechLibrary::paper_calibrated();
+        let once = PassManager::standard().run(&n, &lib).netlist;
+        let again = PassManager::standard().run(&n, &lib).netlist;
+        prop_assert_eq!(&once, &again);
+        // And a fixpoint: re-optimizing the output changes nothing.
+        let twice = PassManager::standard().run(&once, &lib).netlist;
+        prop_assert_eq!(&twice, &once);
+    }
+
+    /// Shrink-safety: every step of the manual shrinker yields a valid
+    /// netlist (builds without panicking, keeps its ports) that still
+    /// satisfies the differential contract. A shrunk failing case is
+    /// therefore always a debuggable reproduction, never a new crash.
+    #[test]
+    fn shrunk_cases_are_still_valid_netlists(
+        (inputs, recipes) in full_strategy(20),
+        seed_bits in proptest::collection::vec(0u8..3, 100),
+    ) {
+        let lib = TechLibrary::paper_calibrated();
+        for (si, sr) in shrink_steps(inputs, &recipes) {
+            let n = build(si, &sr);
+            prop_assert_eq!(n.input_count(), si);
+            prop_assert!(n.output_count() >= 1);
+            let optimized = PassManager::standard().run(&n, &lib).netlist;
+            assert_lane_for_lane(&n, &optimized, &seed_bits, 70);
+        }
+    }
+}
+
+/// The manual shrinker: successively smaller variants of a case, the way
+/// a shrinking engine would walk — truncate the recipe tail, then rebase
+/// every source selector to 0 (the first input).
+fn shrink_steps(
+    inputs: usize,
+    recipes: &[GateRecipe],
+) -> Vec<(usize, Vec<GateRecipe>)> {
+    let mut steps = Vec::new();
+    let mut len = recipes.len();
+    while len > 1 {
+        len /= 2;
+        steps.push((inputs, recipes[..len].to_vec()));
+    }
+    let rebased: Vec<GateRecipe> = recipes
+        .iter()
+        .map(|r| GateRecipe {
+            kind: r.kind,
+            a: 0,
+            b: 0,
+            c: 0,
+        })
+        .collect();
+    steps.push((inputs, rebased));
+    steps.push((2, recipes.to_vec())); // fewer inputs, same recipes
+    steps
+}
+
+/// The full pipeline on the paper's own circuits: the 2-sort blocks stay
+/// exhaustively closure-exact and glitch-free after optimization, and
+/// strictly shrink (the selection stages contain double inversions).
+#[test]
+fn optimized_two_sort_stays_closure_exact_and_shrinks() {
+    use mcs::prelude::*;
+    let lib = TechLibrary::paper_calibrated();
+    for width in [2usize, 3] {
+        let n = build_two_sort(width, PrefixTopology::LadnerFischer);
+        let result = PassManager::standard().run(&n, &lib);
+        let optimized = result.netlist;
+        assert!(
+            optimized.gate_count() < n.gate_count(),
+            "2-sort({width}) must strictly shrink: {} vs {}",
+            optimized.gate_count(),
+            n.gate_count()
+        );
+        assert!(assert_mc_cells_only(&optimized).is_ok());
+        verify_closure_exhaustive(&optimized)
+            .expect("optimized 2-sort stays closure-exact");
+        let vectors = stable_vectors(2 * width);
+        glitch_free_all_single_bit(
+            &optimized,
+            vectors.iter().map(Vec::as_slice),
+        )
+        .expect("optimized 2-sort stays glitch-free");
+    }
+}
+
+/// The full pipeline on a complete sorting circuit: strictly fewer gates,
+/// still sorts every 0-1 pattern and a spread of valid-string inputs.
+#[test]
+fn optimized_sorting_circuit_still_sorts() {
+    use mcs::gray::ValidString;
+    use mcs::networks::circuit::{
+        build_sorting_circuit, simulate_sorting_circuit, TwoSortFlavor,
+    };
+    use mcs::networks::optimal::best_size;
+    use mcs::networks::reference::sort_valid_reference;
+
+    let net = best_size(4).unwrap();
+    let width = 3usize;
+    let circuit = build_sorting_circuit(&net, width, TwoSortFlavor::Paper);
+    let lib = TechLibrary::paper_calibrated();
+    let optimized = PassManager::standard().run(&circuit, &lib).netlist;
+    assert!(
+        optimized.gate_count() < circuit.gate_count(),
+        "{} vs {}",
+        optimized.gate_count(),
+        circuit.gate_count()
+    );
+    assert!(assert_mc_cells_only(&optimized).is_ok());
+
+    let all: Vec<ValidString> = ValidString::enumerate(width).collect();
+    for a in (0..all.len()).step_by(3) {
+        for b in (0..all.len()).step_by(4) {
+            for c in (0..all.len()).step_by(5) {
+                for d in (0..all.len()).step_by(2) {
+                    let input = vec![
+                        all[a].clone(),
+                        all[b].clone(),
+                        all[c].clone(),
+                        all[d].clone(),
+                    ];
+                    let got = simulate_sorting_circuit(&optimized, &input);
+                    let want = sort_valid_reference(&net, &input);
+                    assert_eq!(got, want, "inputs {input:?}");
+                }
+            }
+        }
+    }
+}
