@@ -11,30 +11,63 @@
 //! percent. Measured gate counts must equal the published 13/55/169/407
 //! exactly; the closing headline line reads
 //! `Headline (B = 16): area −71.58%, delay −34.71% vs [2] (published)`.
+//!
+//! A published-table row that is missing for a requested `(design, B)` is a
+//! typed error and a nonzero exit, not a panic mid-table.
+
+use std::fmt;
+use std::process::ExitCode;
 
 use mcs_baselines::bund2017::build_bund2017_two_sort;
-use mcs_bench::published::{table7, Design, WIDTHS};
+use mcs_bench::published::{table7, Design, PublishedRow, WIDTHS};
 use mcs_bench::{improvement_pct, measure};
 use mcs_core::ppc::PrefixTopology;
 use mcs_core::two_sort::build_two_sort;
 use mcs_netlist::TechLibrary;
 
-fn series(metric: &str, get: impl Fn(usize) -> (f64, f64, f64, f64)) {
+/// The one way this reproduction can fail: the published Table 7 has no
+/// row for a `(design, width)` the figure needs.
+#[derive(Copy, Clone, Debug)]
+enum Figure1Error {
+    MissingRow { design: Design, width: usize },
+}
+
+impl fmt::Display for Figure1Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Figure1Error::MissingRow { design, width } => write!(
+                f,
+                "published Table 7 has no row for {design:?} at B = {width}"
+            ),
+        }
+    }
+}
+
+/// `table7` with the miss turned into the typed error.
+fn published(design: Design, width: usize) -> Result<PublishedRow, Figure1Error> {
+    table7(design, width).ok_or(Figure1Error::MissingRow { design, width })
+}
+
+fn series(
+    metric: &str,
+    get: impl Fn(usize) -> Result<(f64, f64, f64, f64), Figure1Error>,
+) -> Result<(), Figure1Error> {
     println!("\n-- {metric} vs B --");
     println!(
         "{:>4} {:>12} {:>12} {:>12} {:>12} {:>8}",
         "B", "here(meas)", "here(paper)", "[2](recon)", "[2](paper)", "gain%"
     );
     for width in WIDTHS {
-        let (meas, paper, recon, published) = get(width);
+        let (meas, paper, recon, published) = get(width)?;
         println!(
             "{width:>4} {meas:>12.1} {paper:>12.1} {recon:>12.1} {published:>12.1} {:>8.2}",
             improvement_pct(paper, published)
         );
     }
+    Ok(())
 }
 
-fn main() {
+fn run() -> Result<(), Figure1Error> {
     let lib = TechLibrary::paper_calibrated();
     println!("Figure 1 — 2-sort(B): this paper vs Bund et al. (DATE 2017)");
 
@@ -49,39 +82,46 @@ fn main() {
     let idx = |w: usize| WIDTHS.iter().position(|&x| x == w).unwrap();
 
     series("gate count", |w| {
-        (
+        Ok((
             ours[idx(w)].gates as f64,
-            table7(Design::Here, w).unwrap().gates as f64,
+            published(Design::Here, w)?.gates as f64,
             recon[idx(w)].gates as f64,
-            table7(Design::Bund2017, w).unwrap().gates as f64,
-        )
-    });
+            published(Design::Bund2017, w)?.gates as f64,
+        ))
+    })?;
     series("area [µm²]", |w| {
-        (
+        Ok((
             ours[idx(w)].area_um2,
-            table7(Design::Here, w).unwrap().area_um2,
+            published(Design::Here, w)?.area_um2,
             recon[idx(w)].area_um2,
-            table7(Design::Bund2017, w).unwrap().area_um2,
-        )
-    });
+            published(Design::Bund2017, w)?.area_um2,
+        ))
+    })?;
     series("delay [ps]", |w| {
-        (
+        Ok((
             ours[idx(w)].delay_ps,
-            table7(Design::Here, w).unwrap().delay_ps,
+            published(Design::Here, w)?.delay_ps,
             recon[idx(w)].delay_ps,
-            table7(Design::Bund2017, w).unwrap().delay_ps,
-        )
-    });
+            published(Design::Bund2017, w)?.delay_ps,
+        ))
+    })?;
 
+    let here = published(Design::Here, 16)?;
+    let bund = published(Design::Bund2017, 16)?;
     println!(
         "\nHeadline (B = 16): area −{:.2}%, delay −{:.2}% vs [2] (published).",
-        improvement_pct(
-            table7(Design::Here, 16).unwrap().area_um2,
-            table7(Design::Bund2017, 16).unwrap().area_um2
-        ),
-        improvement_pct(
-            table7(Design::Here, 16).unwrap().delay_ps,
-            table7(Design::Bund2017, 16).unwrap().delay_ps
-        )
+        improvement_pct(here.area_um2, bund.area_um2),
+        improvement_pct(here.delay_ps, bund.delay_ps)
     );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("repro_figure1: {e}");
+            ExitCode::from(1)
+        }
+    }
 }

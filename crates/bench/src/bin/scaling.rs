@@ -6,32 +6,90 @@
 //! AKS networks are galactic, so — as in practice — we sweep Batcher's
 //! odd-even mergesort (`O(n log² n)` comparators) plus the best-known
 //! optimal networks for small n, and report gates/area/delay of the full
-//! MC circuits for B ∈ {4, 8, 16}.
+//! MC circuits for B ∈ {2, 4, 8, 16}.
+//!
+//! Where an optimized golden artifact exists
+//! (`tests/golden/<name>_sort_<B>b_opt.mcsnl`, e.g. `four_sort_2b_opt`),
+//! the optimal row is **loaded from it instead of re-synthesized** — the
+//! sweep then reports the post-optimization figures the repo actually
+//! ships. Every loaded golden is re-verified with the gate-level 0-1 sweep
+//! before being trusted; a golden that fails re-verification falls back to
+//! fresh synthesis. Golden rows are marked `[golden]`. Set
+//! `MCS_GOLDEN_DIR` to point the lookup somewhere else.
 //!
 //! Run: `cargo run --release -p mcs-bench --bin scaling`
 //!
 //! # Expected output
 //!
 //! (Not a paper table — this sweeps the paper's closing claim.) For each
-//! B ∈ {4, 8, 16}: a table of Batcher networks for n up to 32 next to the
-//! best-known optimal networks for small n (e.g. at B = 4, `batcher n=4`
-//! is 275 gates and `optimal n=10` beats `batcher n=10` 1595 to 1760
-//! gates), then a normalised `gates / (comparator·bit)` summary that
-//! settles around 21.1 for B = 8 and 25.4 for B = 16 — constant in n, the
-//! linear-in-B scaling the paper promises.
+//! B ∈ {2, 4, 8, 16}: a table of Batcher networks for n up to 32 next to
+//! the best-known optimal networks for small n (e.g. at B = 4, `batcher
+//! n=4` is 275 gates and `optimal n=10` beats `batcher n=10` 1595 to 1760
+//! gates) — at B = 2 the n ∈ {4, 8} optimal rows come from the shipped
+//! goldens and carry fewer gates than fresh synthesis — then a normalised
+//! `gates / (comparator·bit)` summary that settles around 21.1 for B = 8
+//! and 25.4 for B = 16 — constant in n, the linear-in-B scaling the paper
+//! promises.
 
+use std::path::PathBuf;
+
+use mcs_bench::artifact::load_netlist;
+use mcs_bench::verify::zero_one_circuit_check;
 use mcs_bench::{format_row, measure, print_header};
-use mcs_netlist::TechLibrary;
+use mcs_netlist::{Netlist, TechLibrary};
 use mcs_networks::circuit::{build_sorting_circuit, TwoSortFlavor};
 use mcs_networks::generators::batcher_odd_even;
 use mcs_networks::optimal::best_size;
 use mcs_networks::verify::zero_one_verify;
 
+/// Golden artifacts are named with the channel count spelled out.
+fn channel_word(n: usize) -> Option<&'static str> {
+    Some(match n {
+        2 => "two",
+        4 => "four",
+        7 => "seven",
+        8 => "eight",
+        10 => "ten",
+        _ => return None,
+    })
+}
+
+/// Directory the optimized goldens live in: `MCS_GOLDEN_DIR` if set, else
+/// the repo's `tests/golden` relative to this crate.
+fn golden_dir() -> PathBuf {
+    match std::env::var_os("MCS_GOLDEN_DIR") {
+        Some(dir) => PathBuf::from(dir),
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden"),
+    }
+}
+
+/// Loads the optimized golden for `(n, width)` if one is shipped **and**
+/// it still passes the gate-level 0-1 sweep. Any miss — no file, unreadable
+/// artifact, failed re-verification — returns `None` and the caller
+/// synthesizes instead; a stale golden degrades the report, it must not
+/// poison it.
+fn load_optimized_golden(n: usize, width: usize) -> Option<Netlist> {
+    let path = golden_dir()
+        .join(format!("{}_sort_{width}b_opt.mcsnl", channel_word(n)?));
+    let netlist = load_netlist(&path).ok()?;
+    match zero_one_circuit_check(&netlist, n, width) {
+        Ok(()) => Some(netlist),
+        Err(e) => {
+            eprintln!(
+                "warning: golden {} failed re-verification ({e}); \
+                 re-synthesizing",
+                path.display()
+            );
+            None
+        }
+    }
+}
+
 fn main() {
     let lib = TechLibrary::paper_calibrated();
     println!("MC sorting-network scaling (model: {})", lib.name());
 
-    for width in [4usize, 8, 16] {
+    for width in [2usize, 4, 8, 16] {
         print_header(&format!("B = {width}, Batcher odd-even vs optimal"));
         for n in [4usize, 7, 8, 10, 12, 16, 24, 32] {
             let batcher = batcher_odd_even(n);
@@ -50,12 +108,24 @@ fn main() {
                 )
             );
             if let Some(opt) = best_size(n) {
-                let c2 = build_sorting_circuit(&opt, width, TwoSortFlavor::Paper);
+                // Prefer the shipped post-optimization golden over fresh
+                // synthesis — it is the circuit the repo actually pins.
+                let (c2, tag) = match load_optimized_golden(n, width) {
+                    Some(g) => (g, " [golden]"),
+                    None => (
+                        build_sorting_circuit(&opt, width, TwoSortFlavor::Paper),
+                        "",
+                    ),
+                };
                 let m2 = measure(&c2, &lib);
                 println!(
                     "{}",
                     format_row(
-                        &format!("optimal n={n} ({} CE, d={})", opt.size(), opt.depth()),
+                        &format!(
+                            "optimal n={n} ({} CE, d={}){tag}",
+                            opt.size(),
+                            opt.depth()
+                        ),
                         &m2
                     )
                 );

@@ -42,17 +42,14 @@ use std::process::ExitCode;
 use mcs_bench::artifact::{
     load_netlist, load_network, save_netlist, ArtifactError,
 };
+use mcs_bench::verify::{zero_one_circuit_check, CircuitVerifyError};
 use mcs_bench::{format_row, improvement_pct, measure, print_header};
-use mcs_logic::{Trit, TritBlock};
 use mcs_netlist::mc::assert_mc_cells_only;
 use mcs_netlist::passes::PassManager;
 use mcs_netlist::{Netlist, NetlistFigures, TechLibrary};
 use mcs_networks::circuit::{build_sorting_circuit, TwoSortFlavor};
 use mcs_networks::io::NetworkArtifact;
 use mcs_networks::optimal::best_size;
-
-/// Largest channel count the gate-level 0-1 sweep enumerates (2^n lanes).
-const MAX_CHECK_CHANNELS: usize = 20;
 
 /// Everything that can go wrong in the driver, as typed variants instead
 /// of bare strings — `StatsMismatch` in particular turns the "optimizer
@@ -102,57 +99,10 @@ impl From<ArtifactError> for SynthError {
     }
 }
 
-/// Gate-level 0-1-principle re-verification: every 0-1 channel pattern
-/// (channel value replicated across its B bits — the rank-0 and rank-max
-/// valid strings) must leave the circuit sorted ascending. One
-/// `eval_block` call over all 2^n patterns.
-fn zero_one_circuit_check(
-    netlist: &Netlist,
-    channels: usize,
-    width: usize,
-) -> Result<(), SynthError> {
-    if channels > MAX_CHECK_CHANNELS {
-        return Err(SynthError::Verification(format!(
-            "{channels} channels exceed the exhaustive 0-1 bound of {MAX_CHECK_CHANNELS}"
-        )));
+impl From<CircuitVerifyError> for SynthError {
+    fn from(e: CircuitVerifyError) -> SynthError {
+        SynthError::Verification(e.to_string())
     }
-    if netlist.input_count() != channels * width
-        || netlist.output_count() != channels * width
-    {
-        return Err(SynthError::Verification(format!(
-            "port counts ({} in / {} out) disagree with {channels} channels × {width} bits",
-            netlist.input_count(),
-            netlist.output_count()
-        )));
-    }
-    let lanes = 1usize << channels;
-    let inputs: Vec<TritBlock> = (0..channels * width)
-        .map(|port| {
-            let c = port / width;
-            TritBlock::from_lanes(
-                &(0..lanes)
-                    .map(|m| Trit::from((m >> c) & 1 == 1))
-                    .collect::<Vec<_>>(),
-            )
-        })
-        .collect();
-    let out = netlist.eval_block(&inputs);
-    for m in 0..lanes {
-        let ones = (m as u64).count_ones() as usize;
-        for c in 0..channels {
-            // Ascending: the `ones` maxima land on the top channels.
-            let want = Trit::from(c >= channels - ones);
-            for b in 0..width {
-                let got = out[c * width + b].lane(m);
-                if got != want {
-                    return Err(SynthError::Verification(format!(
-                        "0-1 pattern {m:#b}: out{c}_b{b} = {got}, want {want}"
-                    )));
-                }
-            }
-        }
-    }
-    Ok(())
 }
 
 /// Runs the standard pass pipeline on `netlist`, prints the before/after

@@ -13,6 +13,10 @@
 //!   cached `find_network --save` artifact via `--network`) × 2-sort
 //!   flavour → full gate-level netlist, re-verified, measured, and
 //!   saved/loaded as netlist artifacts (`--save`/`--load`).
+//! * `throughput` — sustained-throughput engine: compiles circuits to
+//!   [`mcs_netlist::EvalTape`]s and streams millions of Gray-code
+//!   vectors across worker threads, reporting sorted vectors per second
+//!   as `BENCH_throughput.json` (see [`throughput`]).
 //!
 //! The Criterion benches (`cargo bench -p mcs-bench`) time the same
 //! construction + analysis pipelines and the gate-level simulator.
@@ -23,6 +27,8 @@
 
 pub mod artifact;
 pub mod published;
+pub mod throughput;
+pub mod verify;
 
 use mcs_netlist::{AreaReport, Netlist, TechLibrary, TimingReport};
 

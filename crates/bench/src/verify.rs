@@ -1,0 +1,188 @@
+//! Shared gate-level re-verification for the bench binaries and the
+//! throughput engine.
+//!
+//! The 0-1-principle sweep lived inside `synth_circuit`; it is hoisted here
+//! so every consumer of a sorting circuit — the synthesis driver, the
+//! `scaling` bench (when it trusts an optimized golden artifact) and the
+//! throughput engine — re-verifies through one implementation with one
+//! typed error.
+
+use std::fmt;
+
+use mcs_logic::{Trit, TritBlock};
+use mcs_netlist::Netlist;
+
+/// Largest channel count the gate-level 0-1 sweep enumerates (2^n lanes).
+pub const MAX_CHECK_CHANNELS: usize = 20;
+
+/// A failed gate-level sorting-circuit re-verification.
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub enum CircuitVerifyError {
+    /// The exhaustive sweep would need more than `2^MAX_CHECK_CHANNELS`
+    /// lanes.
+    TooManyChannels {
+        /// Requested channel count.
+        channels: usize,
+    },
+    /// The netlist's port counts do not match `channels × width`.
+    PortMismatch {
+        /// Primary input count of the netlist.
+        inputs: usize,
+        /// Primary output count of the netlist.
+        outputs: usize,
+        /// Expected channel count.
+        channels: usize,
+        /// Expected bit width.
+        width: usize,
+    },
+    /// A 0-1 pattern came out unsorted.
+    NotSorting {
+        /// The failing 0-1 channel pattern (bit `c` = channel `c`'s value).
+        pattern: usize,
+        /// Output channel with the wrong value.
+        channel: usize,
+        /// Bit within the channel.
+        bit: usize,
+        /// Observed output.
+        got: Trit,
+        /// Expected output.
+        want: Trit,
+    },
+}
+
+impl fmt::Display for CircuitVerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitVerifyError::TooManyChannels { channels } => write!(
+                f,
+                "{channels} channels exceed the exhaustive 0-1 bound of \
+                 {MAX_CHECK_CHANNELS}"
+            ),
+            CircuitVerifyError::PortMismatch {
+                inputs,
+                outputs,
+                channels,
+                width,
+            } => write!(
+                f,
+                "port counts ({inputs} in / {outputs} out) disagree with \
+                 {channels} channels × {width} bits"
+            ),
+            CircuitVerifyError::NotSorting {
+                pattern,
+                channel,
+                bit,
+                got,
+                want,
+            } => write!(
+                f,
+                "0-1 pattern {pattern:#b}: out{channel}_b{bit} = {got}, \
+                 want {want}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CircuitVerifyError {}
+
+/// Gate-level 0-1-principle re-verification: every 0-1 channel pattern
+/// (channel value replicated across its B bits — the rank-0 and rank-max
+/// valid strings) must leave the circuit sorted ascending. One
+/// `eval_block` call over all 2^n patterns.
+///
+/// # Errors
+///
+/// See [`CircuitVerifyError`].
+pub fn zero_one_circuit_check(
+    netlist: &Netlist,
+    channels: usize,
+    width: usize,
+) -> Result<(), CircuitVerifyError> {
+    if channels > MAX_CHECK_CHANNELS {
+        return Err(CircuitVerifyError::TooManyChannels { channels });
+    }
+    if netlist.input_count() != channels * width
+        || netlist.output_count() != channels * width
+    {
+        return Err(CircuitVerifyError::PortMismatch {
+            inputs: netlist.input_count(),
+            outputs: netlist.output_count(),
+            channels,
+            width,
+        });
+    }
+    let lanes = 1usize << channels;
+    let inputs: Vec<TritBlock> = (0..channels * width)
+        .map(|port| {
+            let c = port / width;
+            TritBlock::from_lanes(
+                &(0..lanes)
+                    .map(|m| Trit::from((m >> c) & 1 == 1))
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    let out = netlist.eval_block(&inputs);
+    for m in 0..lanes {
+        let ones = (m as u64).count_ones() as usize;
+        for c in 0..channels {
+            // Ascending: the `ones` maxima land on the top channels.
+            let want = Trit::from(c >= channels - ones);
+            for b in 0..width {
+                let got = out[c * width + b].lane(m);
+                if got != want {
+                    return Err(CircuitVerifyError::NotSorting {
+                        pattern: m,
+                        channel: c,
+                        bit: b,
+                        got,
+                        want,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_networks::circuit::{build_sorting_circuit, TwoSortFlavor};
+    use mcs_networks::optimal::best_size;
+
+    #[test]
+    fn accepts_a_real_sorting_circuit() {
+        let net = best_size(4).unwrap();
+        let c = build_sorting_circuit(&net, 2, TwoSortFlavor::Paper);
+        assert_eq!(zero_one_circuit_check(&c, 4, 2), Ok(()));
+    }
+
+    #[test]
+    fn rejects_port_mismatch_and_big_n() {
+        let net = best_size(4).unwrap();
+        let c = build_sorting_circuit(&net, 2, TwoSortFlavor::Paper);
+        assert!(matches!(
+            zero_one_circuit_check(&c, 4, 4),
+            Err(CircuitVerifyError::PortMismatch { .. })
+        ));
+        assert!(matches!(
+            zero_one_circuit_check(&c, 40, 2),
+            Err(CircuitVerifyError::TooManyChannels { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_a_non_sorting_netlist() {
+        // Identity wiring is not a sorter: pattern 0b01 must move the one
+        // up, identity leaves it on channel 0.
+        let mut n = Netlist::new("identity");
+        let ins: Vec<_> = (0..4).map(|i| n.input(format!("ch{i}_b0"))).collect();
+        for (i, &node) in ins.iter().enumerate() {
+            n.set_output(format!("out{i}_b0"), node);
+        }
+        let err = zero_one_circuit_check(&n, 4, 1).unwrap_err();
+        assert!(matches!(err, CircuitVerifyError::NotSorting { .. }));
+        assert!(err.to_string().contains("out"));
+    }
+}

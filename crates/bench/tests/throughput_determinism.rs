@@ -1,0 +1,139 @@
+//! Determinism contract of the throughput engine: the reported checksum is
+//! a pure function of `(circuit, seed, vectors, chunk_lanes)` — worker
+//! count, plane width and repetition must never change a byte of it. This
+//! is the PR 3 contract (round-robin sharding + index-keyed merge) carried
+//! over to the streaming engine, and it is what makes the benchmark's
+//! numbers comparable across machines and across PRs.
+
+use mcs_bench::throughput::{
+    cell_network, report_json, run_cell, ThroughputConfig, ThroughputError,
+    JSON_SCHEMA,
+};
+use mcs_logic::PlaneWidth;
+
+fn cfg(channels: usize, width: usize, vectors: u64) -> ThroughputConfig {
+    let mut cfg = ThroughputConfig::new(channels, width);
+    cfg.vectors = vectors;
+    cfg.chunk_lanes = 512;
+    cfg.sample_lanes = 512;
+    cfg.workers = 1;
+    cfg
+}
+
+/// Workers 1/2/4/8 produce byte-identical checksums — on any host,
+/// including this single-core container (the sharding is a function of the
+/// worker index, never of scheduling).
+#[test]
+fn checksum_is_identical_across_worker_counts() {
+    let base = run_cell(&cfg(4, 2, 5_000)).unwrap();
+    assert_eq!(base.workers, 1);
+    for workers in [2usize, 4, 8] {
+        let mut c = cfg(4, 2, 5_000);
+        c.workers = workers;
+        let r = run_cell(&c).unwrap();
+        assert_eq!(r.checksum, base.checksum, "workers = {workers}");
+        assert_eq!(r.vectors, base.vectors);
+    }
+}
+
+/// Every plane width (1×, 4×, 8× interleaved u64 blocks) streams the same
+/// bytes.
+#[test]
+fn checksum_is_identical_across_plane_widths() {
+    let mut reference = None;
+    for plane_width in PlaneWidth::ALL {
+        let mut c = cfg(4, 2, 4_000);
+        c.plane_width = plane_width;
+        let r = run_cell(&c).unwrap();
+        let want = *reference.get_or_insert(r.checksum);
+        assert_eq!(r.checksum, want, "plane width {plane_width}");
+    }
+}
+
+/// Back-to-back runs repeat exactly; a different seed diverges (the digest
+/// actually covers the data).
+#[test]
+fn repeat_runs_repeat_and_seeds_matter() {
+    let a = run_cell(&cfg(4, 2, 3_000)).unwrap();
+    let b = run_cell(&cfg(4, 2, 3_000)).unwrap();
+    assert_eq!(a.checksum, b.checksum);
+    let mut c = cfg(4, 2, 3_000);
+    c.seed ^= 1;
+    let d = run_cell(&c).unwrap();
+    assert_ne!(a.checksum, d.checksum);
+}
+
+/// The edge vector counts stream without panicking and preserve the
+/// worker-count invariance even when the final chunk is a partial word.
+#[test]
+fn edge_vector_counts_keep_the_contract() {
+    for vectors in [0u64, 1, 63, 64, 65, 1000] {
+        let mut one = cfg(4, 2, vectors);
+        one.chunk_lanes = 64;
+        one.sample_lanes = vectors.max(1) as usize;
+        let a = run_cell(&one).unwrap();
+        let mut four = one;
+        four.workers = 4;
+        let b = run_cell(&four).unwrap();
+        assert_eq!(a.checksum, b.checksum, "vectors = {vectors}");
+    }
+}
+
+/// Wider cells exercise the Batcher path (n = 16 has no optimal table) and
+/// a >1-bit rank domain; the contract holds there too.
+#[test]
+fn wider_cells_hold_the_contract() {
+    assert_eq!(cell_network(16).size(), 63);
+    let mut one = cfg(16, 4, 1_500);
+    one.sample_lanes = 256;
+    let a = run_cell(&one).unwrap();
+    let mut two = one;
+    two.workers = 2;
+    let b = run_cell(&two).unwrap();
+    assert_eq!(a.checksum, b.checksum);
+    assert_eq!(a.comparators, 63);
+    assert!(a.gates > 0 && a.depth > 0);
+}
+
+/// The JSON document keeps its schema tag and per-cell fields — CI greps
+/// this file, so the format is part of the contract.
+#[test]
+fn json_report_is_format_stable() {
+    let r = run_cell(&cfg(4, 2, 1_000)).unwrap();
+    let json = report_json(7, 512, std::slice::from_ref(&r));
+    assert!(json.starts_with("{\n"));
+    assert!(json.contains(&format!("\"schema\": \"{JSON_SCHEMA}\"")));
+    for field in [
+        "\"seed\": 7",
+        "\"chunk_lanes\": 512",
+        "\"channels\": 4",
+        "\"width\": 2",
+        "\"comparators\"",
+        "\"gates\"",
+        "\"depth\"",
+        "\"vectors\": 1000",
+        "\"workers\": 1",
+        "\"plane_width\": 4",
+        "\"elapsed_s\"",
+        "\"vectors_per_s\"",
+        "\"differential_lanes\": 512",
+    ] {
+        assert!(json.contains(field), "missing {field}:\n{json}");
+    }
+    assert!(json.contains(&format!("\"checksum\": \"0x{:016x}\"", r.checksum)));
+}
+
+/// Misconfigured cells fail with typed errors before any streaming.
+#[test]
+fn preflight_rejects_bad_configs() {
+    assert!(matches!(
+        run_cell(&cfg(1, 2, 10)),
+        Err(ThroughputError::UnsupportedCell { .. })
+    ));
+    let mut zero_chunk = cfg(4, 2, 10);
+    zero_chunk.chunk_lanes = 0;
+    assert!(matches!(
+        run_cell(&zero_chunk),
+        Err(ThroughputError::UnsupportedCell { .. })
+    ));
+}

@@ -64,6 +64,7 @@
 
 pub mod block;
 pub mod closure;
+pub mod plane;
 pub mod resolution;
 pub mod table;
 pub mod trit;
@@ -72,6 +73,7 @@ pub mod word;
 
 pub use block::TritBlock;
 pub use closure::{closure_fn, closure_fn_multi};
+pub use plane::{ParsePlaneWidthError, PlaneWidth, TritPlanes};
 pub use resolution::{superpose_slices, Resolutions};
 pub use table::{Implicant, TruthTable};
 pub use trit::{ParseTritError, Trit};

@@ -112,6 +112,7 @@ pub mod netlist;
 pub mod passes;
 pub mod serdes;
 pub mod synth;
+pub mod tape;
 pub mod tech;
 pub mod timing;
 pub mod vcd;
@@ -123,5 +124,6 @@ pub use netlist::Netlist;
 pub use passes::{
     NetlistFigures, OptimizeResult, Pass, PassManager, PassStats,
 };
+pub use tape::{EvalTape, TapeOp, TapeRun, TapeScratch};
 pub use tech::{CellSpec, CellTiming, TechLibrary};
 pub use timing::TimingReport;
