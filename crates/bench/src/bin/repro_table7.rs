@@ -14,15 +14,60 @@
 //! the improvement over the published \[2\] is area 71.58%, delay 34.71%,
 //! gates 69.72%. A final checklist restates the key claims verified.
 
+use std::fmt;
+use std::process::ExitCode;
+
 use mcs_baselines::bincomp::build_bincomp;
 use mcs_baselines::bund2017::build_bund2017_two_sort;
-use mcs_bench::published::{table7, Design, WIDTHS};
+use mcs_bench::published::{table7, Design, PublishedRow, WIDTHS};
 use mcs_bench::{format_row, improvement_pct, measure, print_header};
 use mcs_core::ppc::PrefixTopology;
 use mcs_core::two_sort::build_two_sort;
 use mcs_netlist::TechLibrary;
 
-fn main() {
+/// Everything that can fail regenerating Table 7 — typed, never a panic.
+#[derive(Debug)]
+enum Table7Error {
+    /// A published cell the report needs is missing from the table.
+    MissingPublished { design: Design, width: usize },
+    /// A measured gate count disagrees with the published (structural)
+    /// count — the reconstruction itself is wrong.
+    GateMismatch {
+        width: usize,
+        measured: usize,
+        published: usize,
+    },
+}
+
+impl fmt::Display for Table7Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Table7Error::MissingPublished { design, width } => write!(
+                f,
+                "no published Table 7 row for {} at B = {width}",
+                design.label()
+            ),
+            Table7Error::GateMismatch {
+                width,
+                measured,
+                published,
+            } => write!(
+                f,
+                "B = {width}: measured {measured} gates, paper says \
+                 {published} — gate counts are structural and must match"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Table7Error {}
+
+/// Looks up a published row, with a typed error instead of `unwrap()`.
+fn published(design: Design, width: usize) -> Result<PublishedRow, Table7Error> {
+    table7(design, width).ok_or(Table7Error::MissingPublished { design, width })
+}
+
+fn run() -> Result<(), Table7Error> {
     let lib = TechLibrary::paper_calibrated();
     println!("Table 7 — 2-sort(B) comparison (model: {})", lib.name());
     println!("'paper' columns are the published DATE 2018 values.");
@@ -32,7 +77,7 @@ fn main() {
 
         let ours = measure(&build_two_sort(width, PrefixTopology::LadnerFischer), &lib);
         println!("{}", format_row("this paper (measured)", &ours));
-        let p = table7(Design::Here, width).unwrap();
+        let p = published(Design::Here, width)?;
         println!(
             "{:<28} {:>7}  {:>11.3}  {:>8.0}",
             "this paper (paper)", p.gates, p.area_um2, p.delay_ps
@@ -40,7 +85,7 @@ fn main() {
 
         let recon = measure(&build_bund2017_two_sort(width), &lib);
         println!("{}", format_row("[2] reconstruction", &recon));
-        let p2 = table7(Design::Bund2017, width).unwrap();
+        let p2 = published(Design::Bund2017, width)?;
         println!(
             "{:<28} {:>7}  {:>11.3}  {:>8.0}",
             "[2] (paper)", p2.gates, p2.area_um2, p2.delay_ps
@@ -48,7 +93,7 @@ fn main() {
 
         let bin = measure(&build_bincomp(width), &lib);
         println!("{}", format_row("Bin-comp (measured)", &bin));
-        let pb = table7(Design::BinComp, width).unwrap();
+        let pb = published(Design::BinComp, width)?;
         println!(
             "{:<28} {:>7}  {:>11.3}  {:>8.0}",
             "Bin-comp (paper)", pb.gates, pb.area_um2, pb.delay_ps
@@ -66,7 +111,13 @@ fn main() {
             improvement_pct(ours.delay_ps, recon.delay_ps),
             improvement_pct(ours.gates as f64, recon.gates as f64),
         );
-        assert_eq!(ours.gates, p.gates, "gate counts are structural — must match");
+        if ours.gates != p.gates {
+            return Err(Table7Error::GateMismatch {
+                width,
+                measured: ours.gates,
+                published: p.gates,
+            });
+        }
     }
 
     println!("\nKey claims checked:");
@@ -76,4 +127,15 @@ fn main() {
     println!("   (the reconstruction shares [2]'s Θ(B log B) area, not its delay —");
     println!("   see DESIGN.md §5.3)");
     println!(" * Bin-comp stays smaller — the price of containment (Section 6)");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("repro_table7: {e}");
+            ExitCode::from(1)
+        }
+    }
 }

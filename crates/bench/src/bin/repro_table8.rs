@@ -19,6 +19,9 @@
 //! on all metrics while Bin-comp stays smallest in gates (the price of
 //! containment).
 
+use std::fmt;
+use std::process::ExitCode;
+
 use mcs_bench::published::{table8, Design, NetworkKind, WIDTHS};
 use mcs_bench::{format_row, measure, print_header};
 use mcs_netlist::TechLibrary;
@@ -26,22 +29,63 @@ use mcs_networks::circuit::{build_sorting_circuit, TwoSortFlavor};
 use mcs_networks::comparator::Network;
 use mcs_networks::optimal::{best_size, ten_sort_depth, ten_sort_size};
 
-fn paper_network(kind: NetworkKind) -> Network {
-    match kind {
-        NetworkKind::Sort4 => best_size(4).expect("covered"),
-        NetworkKind::Sort7 => best_size(7).expect("covered"),
-        NetworkKind::Sort10Size => ten_sort_size(),
-        NetworkKind::Sort10Depth => ten_sort_depth(),
+/// Everything that can fail regenerating Table 8 — typed, never a panic.
+#[derive(Debug)]
+enum Table8Error {
+    /// The optimal-network table has no entry for a channel count the
+    /// paper's networks need.
+    MissingOptimal { channels: usize },
+    /// A measured gate count disagrees with the published (structural)
+    /// count — the reconstruction itself is wrong.
+    GateMismatch {
+        kind: NetworkKind,
+        width: usize,
+        measured: usize,
+        published: usize,
+    },
+}
+
+impl fmt::Display for Table8Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Table8Error::MissingOptimal { channels } => write!(
+                f,
+                "no optimal network for n = {channels} in the best-size table"
+            ),
+            Table8Error::GateMismatch {
+                kind,
+                width,
+                measured,
+                published,
+            } => write!(
+                f,
+                "{}, B = {width}: measured {measured} gates, paper says \
+                 {published} — structural gate counts must match",
+                kind.label()
+            ),
+        }
     }
 }
 
-fn main() {
+impl std::error::Error for Table8Error {}
+
+fn paper_network(kind: NetworkKind) -> Result<Network, Table8Error> {
+    let optimal = |n| best_size(n).ok_or(Table8Error::MissingOptimal { channels: n });
+    match kind {
+        NetworkKind::Sort4 => optimal(4),
+        NetworkKind::Sort7 => optimal(7),
+        NetworkKind::Sort10Size => Ok(ten_sort_size()),
+        NetworkKind::Sort10Depth => Ok(ten_sort_depth()),
+    }
+}
+
+fn run() -> Result<(), Table8Error> {
     let lib = TechLibrary::paper_calibrated();
     println!("Table 8 — n-channel sorting networks (model: {})", lib.name());
 
     for width in WIDTHS {
         for kind in NetworkKind::ALL {
-            let network = paper_network(kind);
+            let network = paper_network(kind)?;
             print_header(&format!(
                 "{} (n = {}, {} comparators, depth {}), B = {width}",
                 kind.label(),
@@ -65,11 +109,13 @@ fn main() {
                         p.area_um2,
                         p.delay_ps
                     );
-                    if design == Design::Here {
-                        assert_eq!(
-                            m.gates, p.gates,
-                            "structural gate counts must match the paper"
-                        );
+                    if design == Design::Here && m.gates != p.gates {
+                        return Err(Table8Error::GateMismatch {
+                            kind,
+                            width,
+                            measured: m.gates,
+                            published: p.gates,
+                        });
                     }
                 }
             }
@@ -80,4 +126,15 @@ fn main() {
     println!(" * every 'this paper' gate count equals the published Table 8 value");
     println!(" * [2] is worse on all metrics at all (n, B); Bin-comp is smaller");
     println!(" * 10-sortd trades ~7% more gates for a shorter critical path than 10-sort#");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("repro_table8: {e}");
+            ExitCode::from(1)
+        }
+    }
 }

@@ -31,7 +31,9 @@
 //! and 25.4 for B = 16 — constant in n, the linear-in-B scaling the paper
 //! promises.
 
+use std::fmt;
 use std::path::PathBuf;
+use std::process::ExitCode;
 
 use mcs_bench::artifact::load_netlist;
 use mcs_bench::verify::zero_one_circuit_check;
@@ -85,7 +87,27 @@ fn load_optimized_golden(n: usize, width: usize) -> Option<Netlist> {
     }
 }
 
-fn main() {
+/// The one fallible step of the sweep — a generated Batcher network
+/// failing 0-1 verification — as a typed error instead of a panic.
+#[derive(Debug)]
+struct ScalingError {
+    channels: usize,
+    detail: String,
+}
+
+impl fmt::Display for ScalingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "batcher n={} failed 0-1 verification: {}",
+            self.channels, self.detail
+        )
+    }
+}
+
+impl std::error::Error for ScalingError {}
+
+fn run() -> Result<(), ScalingError> {
     let lib = TechLibrary::paper_calibrated();
     println!("MC sorting-network scaling (model: {})", lib.name());
 
@@ -96,7 +118,10 @@ fn main() {
             // 0-1 verification is exponential in n; beyond 20 channels we
             // trust the generator (exhaustively tested for n ≤ 20).
             if n <= 20 {
-                zero_one_verify(&batcher).expect("batcher sorts");
+                zero_one_verify(&batcher).map_err(|e| ScalingError {
+                    channels: n,
+                    detail: e.to_string(),
+                })?;
             }
             let circuit = build_sorting_circuit(&batcher, width, TwoSortFlavor::Paper);
             let m = measure(&circuit, &lib);
@@ -142,6 +167,17 @@ fn main() {
             let c = build_sorting_circuit(&net, width, TwoSortFlavor::Paper);
             let per = c.gate_count() as f64 / (net.size() as f64 * width as f64);
             println!("  n={n:<3} B={width:<3}: {per:.2} gates / (CE·bit)");
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("scaling: {e}");
+            ExitCode::from(1)
         }
     }
 }

@@ -17,6 +17,10 @@
 //!   [`mcs_netlist::EvalTape`]s and streams millions of Gray-code
 //!   vectors across worker threads, reporting sorted vectors per second
 //!   as `BENCH_throughput.json` (see [`throughput`]).
+//! * `sort_server` — batching, backpressured serving layer over the
+//!   throughput engine: framed valid-string requests on stdin or a
+//!   localhost TCP socket, coalesced into shared plane words and sorted
+//!   deterministically (see [`server`]).
 //!
 //! The Criterion benches (`cargo bench -p mcs-bench`) time the same
 //! construction + analysis pipelines and the gate-level simulator.
@@ -27,6 +31,7 @@
 
 pub mod artifact;
 pub mod published;
+pub mod server;
 pub mod throughput;
 pub mod verify;
 

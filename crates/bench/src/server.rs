@@ -1,0 +1,1174 @@
+//! `sort_server`: a batching, backpressured serving layer over the
+//! throughput engine — certified MC sorting circuits as a request/response
+//! service.
+//!
+//! The PR 7 engine streams a fixed synthetic workload; this module serves
+//! *traffic*: framed batches of valid strings arrive on stdin or a
+//! localhost TCP socket, are sorted through a compiled [`EvalTape`] with a
+//! per-connection reusable [`TapeScratch`], and come back as sorted
+//! batches. Three production concerns are first-class:
+//!
+//! * **Request coalescing.** Each request is one lane. Small concurrent
+//!   requests are packed into shared plane words — the [`CoalescerQueue`]
+//!   holds arrivals until a full `max_batch`-lane plane is ready (64 lanes
+//!   per plane word, [`PlaneWidth`] words per pass) or the oldest pending
+//!   request has lingered for `max_linger`, whichever is first, so latency
+//!   stays bounded while throughput approaches the engine's streaming rate.
+//! * **Backpressure.** The inbound queue is bounded (`queue_depth`
+//!   requests). Socket traffic beyond the bound is *rejected* with a typed
+//!   `overloaded` response carrying a retry hint — never buffered without
+//!   limit. The stdin pipe blocks the producer instead (classic pipe
+//!   backpressure), so batch files of any size stream through safely.
+//! * **Determinism.** Per-request results are independent of batch
+//!   packing, worker count and plane width — each lane's output depends
+//!   only on that lane, workers drain whole batches, and every response is
+//!   re-sequenced into per-connection request order before it is written.
+//!   `cat requests | sort_server` is byte-identical across 1/2/4/8 workers
+//!   and plane widths 1/4/8; the `server` test suite pins this against
+//!   serial [`Netlist::eval_block`].
+//!
+//! Robustness is typed end to end: malformed frames, invalid strings,
+//! oversized requests, overload, timeouts and shutdown are all
+//! [`FrameError`] responses on the wire ([`ServerError`] covers setup and
+//! I/O), and the serving loop itself never panics on input.
+//!
+//! # Frame protocol
+//!
+//! Line-oriented text, one frame per line:
+//!
+//! ```text
+//! sort <id> <key> [<key> ...]     request: up to `channels` valid strings
+//! shutdown [<id>]                 drain pending requests, then exit
+//! # anything                      comment, ignored (as are blank lines)
+//! ```
+//!
+//! Keys are valid strings of the server's width `B` over `{0, 1, M}`
+//! (e.g. `0M10`), MSB first. A request may carry fewer than `channels`
+//! keys — the free channels are padded with the maximum valid string, so
+//! the first `k` outputs are exactly the `k` requested keys in ascending
+//! order. Responses (one line per request, in per-connection request
+//! order):
+//!
+//! ```text
+//! ok <id> <key> [<key> ...]       the keys, sorted ascending
+//! err <id> <code> <detail>        typed rejection, request not served
+//! ```
+//!
+//! Error codes: `malformed`, `empty`, `too-many-keys`, `bad-key`,
+//! `oversized`, `overloaded` (carries `retry-ms=<n>`), `timeout`,
+//! `shutting-down`, `internal`. The `<id>` is an opaque client token
+//! echoed back verbatim (`-` when a frame is too malformed to carry one).
+
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use mcs_gray::ValidString;
+use mcs_logic::{PlaneWidth, Trit, TritBlock, TritVec};
+use mcs_netlist::{EvalTape, Netlist, TapeScratch};
+use mcs_networks::circuit::{build_sorting_circuit, TwoSortFlavor};
+use mcs_networks::verify::zero_one_verify;
+
+use crate::throughput::{cell_network, MAX_WIDTH};
+use crate::verify::{zero_one_circuit_check, CircuitVerifyError, MAX_CHECK_CHANNELS};
+
+/// Serving knobs. Everything latency/throughput-relevant is explicit so
+/// tests (and operators) can pin the exact coalescing behaviour.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Channel count `n` of the sorting circuit (max keys per request).
+    pub channels: usize,
+    /// Bits per key `B` (1 ..= [`MAX_WIDTH`]).
+    pub width: usize,
+    /// Worker threads draining the queue; `0` means one per core.
+    pub workers: usize,
+    /// Plane width of each tape pass (64 lanes per plane word).
+    pub plane_width: PlaneWidth,
+    /// Max requests coalesced into one dispatch (the plane fill target).
+    pub max_batch: usize,
+    /// Max time the oldest pending request may wait for its plane to fill
+    /// before a partial plane is dispatched anyway.
+    pub max_linger: Duration,
+    /// Bound of the inbound queue, in requests. Socket submissions beyond
+    /// it are rejected with `overloaded`; pipe submissions block.
+    pub queue_depth: usize,
+    /// Per-request deadline, measured from arrival to dispatch; `None`
+    /// disables (the deterministic default for pipe mode).
+    pub request_timeout: Option<Duration>,
+    /// Longest accepted frame in bytes; longer lines are `oversized`.
+    pub max_frame_bytes: usize,
+}
+
+impl ServerConfig {
+    /// Defaults: auto workers, 4-wide planes, 256-lane batches (one full
+    /// 4-word plane pass), 2 ms linger, 4096-request queue, no timeout,
+    /// 64 KiB frames.
+    pub fn new(channels: usize, width: usize) -> ServerConfig {
+        ServerConfig {
+            channels,
+            width,
+            workers: 0,
+            plane_width: PlaneWidth::X4,
+            max_batch: PlaneWidth::X4.lanes(),
+            max_linger: Duration::from_millis(2),
+            queue_depth: 4096,
+            request_timeout: None,
+            max_frame_bytes: 64 * 1024,
+        }
+    }
+}
+
+/// Everything that can go wrong *setting up or running* the server. Wire
+/// rejections of individual requests are [`FrameError`]s instead.
+#[derive(Debug)]
+pub enum ServerError {
+    /// The configuration is out of range.
+    BadConfig {
+        /// What exactly is wrong.
+        reason: String,
+    },
+    /// The comparator network failed 0-1 verification.
+    Network(String),
+    /// The sorting circuit failed the gate-level 0-1 sweep.
+    Circuit(CircuitVerifyError),
+    /// An I/O error on the listener, a pipe, or a socket.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::BadConfig { reason } => {
+                write!(f, "bad configuration: {reason}")
+            }
+            ServerError::Network(msg) => {
+                write!(f, "network verification failed: {msg}")
+            }
+            ServerError::Circuit(e) => {
+                write!(f, "circuit verification failed: {e}")
+            }
+            ServerError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<CircuitVerifyError> for ServerError {
+    fn from(e: CircuitVerifyError) -> ServerError {
+        ServerError::Circuit(e)
+    }
+}
+
+impl From<std::io::Error> for ServerError {
+    fn from(e: std::io::Error) -> ServerError {
+        ServerError::Io(e)
+    }
+}
+
+/// A typed per-request rejection: one `err` line on the wire, never a
+/// panic. [`FrameError::code`] is the stable wire code; `Display` is the
+/// human detail that follows it.
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub enum FrameError {
+    /// The line is not a recognisable frame.
+    Malformed {
+        /// What exactly is wrong.
+        reason: String,
+    },
+    /// A `sort` frame with no keys.
+    Empty,
+    /// More keys than the circuit has channels.
+    TooManyKeys {
+        /// Keys in the frame.
+        got: usize,
+        /// Channel count of the circuit.
+        max: usize,
+    },
+    /// A key is not a valid string of the server's width.
+    BadKey {
+        /// Zero-based key position within the frame.
+        index: usize,
+        /// Why the key was rejected.
+        detail: String,
+    },
+    /// The frame exceeds the configured byte bound.
+    Oversized {
+        /// Frame length in bytes.
+        bytes: usize,
+        /// Configured bound.
+        max: usize,
+    },
+    /// The bounded inbound queue is full; retry after the hint.
+    Overloaded {
+        /// Requests currently queued.
+        queued: usize,
+        /// Configured queue bound.
+        depth: usize,
+        /// Suggested client back-off in milliseconds.
+        retry_ms: u64,
+    },
+    /// The request waited past the configured deadline before dispatch.
+    Timeout {
+        /// Time the request spent queued, in milliseconds.
+        waited_ms: u64,
+    },
+    /// The server is draining and accepts no new requests.
+    ShuttingDown,
+    /// An engine-level invariant broke mid-serve (never expected — the
+    /// circuit is verified at startup).
+    Internal {
+        /// Diagnostic detail.
+        detail: String,
+    },
+}
+
+impl FrameError {
+    /// The stable wire code written after `err <id>`.
+    pub fn code(&self) -> &'static str {
+        match self {
+            FrameError::Malformed { .. } => "malformed",
+            FrameError::Empty => "empty",
+            FrameError::TooManyKeys { .. } => "too-many-keys",
+            FrameError::BadKey { .. } => "bad-key",
+            FrameError::Oversized { .. } => "oversized",
+            FrameError::Overloaded { .. } => "overloaded",
+            FrameError::Timeout { .. } => "timeout",
+            FrameError::ShuttingDown => "shutting-down",
+            FrameError::Internal { .. } => "internal",
+        }
+    }
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Malformed { reason } => write!(f, "{reason}"),
+            FrameError::Empty => write!(f, "request carries no keys"),
+            FrameError::TooManyKeys { got, max } => {
+                write!(f, "{got} keys exceed the {max}-channel circuit")
+            }
+            FrameError::BadKey { index, detail } => {
+                write!(f, "key {index}: {detail}")
+            }
+            FrameError::Oversized { bytes, max } => {
+                write!(f, "frame of {bytes} bytes exceeds the {max}-byte bound")
+            }
+            FrameError::Overloaded {
+                queued,
+                depth,
+                retry_ms,
+            } => write!(
+                f,
+                "queue full ({queued}/{depth} requests); retry-ms={retry_ms}"
+            ),
+            FrameError::Timeout { waited_ms } => {
+                write!(f, "request waited {waited_ms} ms before dispatch")
+            }
+            FrameError::ShuttingDown => write!(f, "server is draining"),
+            FrameError::Internal { detail } => write!(f, "{detail}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// A parsed `sort` request: opaque client id plus 1 ..= `channels` keys.
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub struct Request {
+    /// Client token, echoed back verbatim on the response line.
+    pub id: String,
+    /// The keys to sort, in arrival order.
+    pub keys: Vec<ValidString>,
+}
+
+/// One parsed frame of the line protocol.
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub enum Frame {
+    /// A sort request.
+    Sort(Request),
+    /// Graceful drain-then-exit.
+    Shutdown {
+        /// Client token (`-` if omitted).
+        id: String,
+    },
+}
+
+/// Parses one line of the protocol. `Ok(None)` is a blank line or comment
+/// (no response owed); errors are per-frame wire rejections.
+///
+/// # Errors
+///
+/// See [`FrameError`].
+pub fn parse_frame(
+    line: &str,
+    cfg: &ServerConfig,
+) -> Result<Option<Frame>, FrameError> {
+    if line.len() > cfg.max_frame_bytes {
+        return Err(FrameError::Oversized {
+            bytes: line.len(),
+            max: cfg.max_frame_bytes,
+        });
+    }
+    let line = line.trim_end_matches(['\r', '\n']);
+    let mut tokens = line.split_ascii_whitespace();
+    let verb = match tokens.next() {
+        None => return Ok(None),
+        Some(v) if v.starts_with('#') => return Ok(None),
+        Some(v) => v,
+    };
+    match verb {
+        "sort" => {
+            let id = tokens
+                .next()
+                .ok_or_else(|| FrameError::Malformed {
+                    reason: "sort frame is missing the request id".into(),
+                })?
+                .to_string();
+            let mut keys = Vec::new();
+            for (index, tok) in tokens.enumerate() {
+                let key: ValidString =
+                    tok.parse().map_err(|e| FrameError::BadKey {
+                        index,
+                        detail: format!("{tok:?} is not a valid string: {e}"),
+                    })?;
+                if key.width() != cfg.width {
+                    return Err(FrameError::BadKey {
+                        index,
+                        detail: format!(
+                            "{tok:?} has width {}, server sorts width {}",
+                            key.width(),
+                            cfg.width
+                        ),
+                    });
+                }
+                keys.push(key);
+            }
+            if keys.is_empty() {
+                return Err(FrameError::Empty);
+            }
+            if keys.len() > cfg.channels {
+                return Err(FrameError::TooManyKeys {
+                    got: keys.len(),
+                    max: cfg.channels,
+                });
+            }
+            Ok(Some(Frame::Sort(Request { id, keys })))
+        }
+        "shutdown" => Ok(Some(Frame::Shutdown {
+            id: tokens.next().unwrap_or("-").to_string(),
+        })),
+        other => Err(FrameError::Malformed {
+            reason: format!("unknown verb {other:?}"),
+        }),
+    }
+}
+
+/// Formats the `ok` response line for a served request.
+pub fn format_ok(id: &str, sorted: &[ValidString]) -> String {
+    let mut line = format!("ok {id}");
+    for key in sorted {
+        line.push(' ');
+        line.push_str(&key.to_string());
+    }
+    line
+}
+
+/// Formats the `err` response line for a rejected request.
+pub fn format_err(id: &str, e: &FrameError) -> String {
+    format!("err {id} {} {e}", e.code())
+}
+
+/// The sorting engine: a verified circuit compiled to an [`EvalTape`],
+/// plus the padding row that lets short requests share a plane with full
+/// ones. Shared read-only across workers; each worker owns a scratch.
+pub struct SortEngine {
+    cfg: ServerConfig,
+    tape: EvalTape,
+    /// Bits of the maximum valid string — free channels of a short request
+    /// are padded with it so the sorted prefix is exactly the request.
+    pad: TritVec,
+}
+
+impl SortEngine {
+    /// Builds the engine for `cfg` from the stock cell network (optimal
+    /// table for small `n`, Batcher odd-even beyond), verifying network and
+    /// circuit before anything is served.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServerError`]; nothing is served unless verification passes.
+    pub fn new(cfg: ServerConfig) -> Result<SortEngine, ServerError> {
+        validate(&cfg)?;
+        let network = cell_network(cfg.channels);
+        if cfg.channels <= MAX_CHECK_CHANNELS {
+            zero_one_verify(&network)
+                .map_err(|e| ServerError::Network(e.to_string()))?;
+        }
+        let circuit =
+            build_sorting_circuit(&network, cfg.width, TwoSortFlavor::Paper);
+        SortEngine::from_netlist(cfg, &circuit)
+    }
+
+    /// Builds the engine from an existing sorting netlist — e.g. an
+    /// optimized golden or zoo artifact loaded via
+    /// [`crate::artifact::load_netlist`]. The netlist is re-verified with
+    /// the gate-level 0-1 sweep before it serves a single request.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServerError`].
+    pub fn from_netlist(
+        cfg: ServerConfig,
+        circuit: &Netlist,
+    ) -> Result<SortEngine, ServerError> {
+        validate(&cfg)?;
+        if cfg.channels <= MAX_CHECK_CHANNELS {
+            zero_one_circuit_check(circuit, cfg.channels, cfg.width)?;
+        } else if circuit.input_count() != cfg.channels * cfg.width
+            || circuit.output_count() != cfg.channels * cfg.width
+        {
+            return Err(ServerError::BadConfig {
+                reason: format!(
+                    "netlist ports ({} in / {} out) disagree with {} \
+                     channels x {} bits",
+                    circuit.input_count(),
+                    circuit.output_count(),
+                    cfg.channels,
+                    cfg.width
+                ),
+            });
+        }
+        let pad = ValidString::stable(cfg.width, (1u64 << cfg.width) - 1)
+            .map_err(|e| ServerError::BadConfig {
+                reason: format!("width {}: {e}", cfg.width),
+            })?
+            .into_bits();
+        Ok(SortEngine {
+            cfg,
+            tape: EvalTape::compile(circuit),
+            pad,
+        })
+    }
+
+    /// The configuration the engine was built for.
+    pub fn config(&self) -> &ServerConfig {
+        &self.cfg
+    }
+
+    /// Allocates one worker's (or connection's) reusable scratch.
+    pub fn scratch(&self) -> TapeScratch {
+        self.tape.scratch(self.cfg.plane_width)
+    }
+
+    /// Sorts a coalesced batch: request `i` occupies lane `i` of one shared
+    /// plane pass. Returns each request's keys in ascending order.
+    ///
+    /// Per-request results are a function of that request alone — lanes are
+    /// independent in the word-parallel evaluator — which is the whole
+    /// determinism contract: packing, worker count and plane width cannot
+    /// change any response.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Internal`] if the tape rejects the batch or an output
+    /// lane is not a valid string — both impossible for a verified circuit.
+    pub fn sort_batch(
+        &self,
+        requests: &[Request],
+        scratch: &mut TapeScratch,
+    ) -> Result<Vec<Vec<ValidString>>, FrameError> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        let ports = self.cfg.channels * self.cfg.width;
+        let rows: Vec<Vec<Trit>> = requests
+            .iter()
+            .map(|r| {
+                let mut row = Vec::with_capacity(ports);
+                for key in &r.keys {
+                    row.extend(key.bits().iter());
+                }
+                for _ in r.keys.len()..self.cfg.channels {
+                    row.extend(self.pad.iter());
+                }
+                row
+            })
+            .collect();
+        let blocks = TritBlock::pack_rows(&rows);
+        let out = self
+            .tape
+            .try_eval_block_with(&blocks, scratch)
+            .map_err(|e| FrameError::Internal {
+                detail: format!("tape rejected the batch: {e}"),
+            })?;
+        requests
+            .iter()
+            .enumerate()
+            .map(|(lane, r)| {
+                (0..r.keys.len())
+                    .map(|c| {
+                        let bits: TritVec = (0..self.cfg.width)
+                            .map(|b| out[c * self.cfg.width + b].lane(lane))
+                            .collect();
+                        ValidString::new(bits.clone()).map_err(|e| {
+                            FrameError::Internal {
+                                detail: format!(
+                                    "output channel {c} of request {:?} is \
+                                     not a valid string ({bits}): {e}",
+                                    r.id
+                                ),
+                            }
+                        })
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+fn validate(cfg: &ServerConfig) -> Result<(), ServerError> {
+    let bad = |reason: String| Err(ServerError::BadConfig { reason });
+    if cfg.channels < 2 {
+        return bad("need at least 2 channels".into());
+    }
+    if cfg.width == 0 || cfg.width > MAX_WIDTH {
+        return bad(format!("width must be in 1..={MAX_WIDTH}"));
+    }
+    if cfg.max_batch == 0 {
+        return bad("max_batch must be positive".into());
+    }
+    if cfg.queue_depth == 0 {
+        return bad("queue_depth must be positive".into());
+    }
+    if cfg.max_frame_bytes == 0 {
+        return bad("max_frame_bytes must be positive".into());
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// The coalescer: a bounded queue that releases plane-sized batches.
+// ---------------------------------------------------------------------------
+
+/// One queued request on its way to a plane: the parsed keys plus the
+/// routing information needed to deliver the response.
+#[derive(Debug)]
+pub struct Job {
+    /// Per-connection sequence number; the connection writer re-orders
+    /// responses by it.
+    pub seq: u64,
+    /// Client id echoed on the response.
+    pub id: String,
+    /// The keys to sort.
+    pub keys: Vec<ValidString>,
+    /// Arrival time (linger and timeout are measured from it).
+    pub enqueued: Instant,
+    /// Where the formatted response line goes.
+    pub reply: Sender<(u64, String)>,
+}
+
+struct QueueState {
+    jobs: std::collections::VecDeque<Job>,
+    closed: bool,
+}
+
+/// The bounded request queue with plane-fill/linger batching semantics —
+/// the heart of the serving layer, exposed so tests can pin its contract
+/// without sockets or timing races.
+pub struct CoalescerQueue {
+    state: Mutex<QueueState>,
+    /// Signals workers: jobs arrived or the queue closed.
+    nonempty: Condvar,
+    /// Signals blocked producers: space freed or the queue closed.
+    space: Condvar,
+    depth: usize,
+    max_batch: usize,
+    max_linger: Duration,
+}
+
+impl CoalescerQueue {
+    /// A queue bounded at `depth` requests, dispatching `max_batch`-lane
+    /// planes, holding partial planes at most `max_linger`.
+    pub fn new(depth: usize, max_batch: usize, max_linger: Duration) -> CoalescerQueue {
+        CoalescerQueue {
+            state: Mutex::new(QueueState {
+                jobs: std::collections::VecDeque::new(),
+                closed: false,
+            }),
+            nonempty: Condvar::new(),
+            space: Condvar::new(),
+            depth,
+            max_batch: max_batch.max(1),
+            max_linger,
+        }
+    }
+
+    /// Requests currently queued (racy snapshot, for reporting).
+    pub fn queued(&self) -> usize {
+        self.state.lock().expect("queue lock").jobs.len()
+    }
+
+    /// Socket-mode submission: **rejects** when the queue is at its bound
+    /// (returning the job so the caller can format the error response) —
+    /// backpressure by typed refusal, never by unbounded buffering.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Overloaded`] with a retry hint when full,
+    /// [`FrameError::ShuttingDown`] after [`CoalescerQueue::close`].
+    pub fn try_submit(&self, job: Job) -> Result<(), (Job, FrameError)> {
+        let mut state = self.state.lock().expect("queue lock");
+        if state.closed {
+            return Err((job, FrameError::ShuttingDown));
+        }
+        if state.jobs.len() >= self.depth {
+            let e = FrameError::Overloaded {
+                queued: state.jobs.len(),
+                depth: self.depth,
+                // One linger window is how long a full queue needs to turn
+                // into at least one dispatched plane.
+                retry_ms: (self.max_linger.as_millis() as u64).max(1),
+            };
+            return Err((job, e));
+        }
+        state.jobs.push_back(job);
+        self.nonempty.notify_one();
+        Ok(())
+    }
+
+    /// Pipe-mode submission: **blocks** until space frees (the producer is
+    /// a pipe — slowing it down *is* the backpressure).
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::ShuttingDown`] (with the job handed back) if the
+    /// queue closes while waiting.
+    pub fn submit_blocking(&self, job: Job) -> Result<(), (Job, FrameError)> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if state.closed {
+                return Err((job, FrameError::ShuttingDown));
+            }
+            if state.jobs.len() < self.depth {
+                state.jobs.push_back(job);
+                self.nonempty.notify_one();
+                return Ok(());
+            }
+            state = self.space.wait(state).expect("queue lock");
+        }
+    }
+
+    /// Closes the queue: producers are refused from now on, workers drain
+    /// what is already queued and then see `None`.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("queue lock");
+        state.closed = true;
+        self.nonempty.notify_all();
+        self.space.notify_all();
+    }
+
+    /// Blocks until a batch is ready and pops it: a full `max_batch` plane
+    /// immediately, a partial plane once its oldest job has lingered
+    /// `max_linger`, everything left once the queue closes. `None` when
+    /// closed and empty — the worker's exit signal.
+    pub fn next_batch(&self) -> Option<Vec<Job>> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if state.jobs.len() >= self.max_batch || state.closed {
+                break;
+            }
+            if let Some(oldest) = state.jobs.front() {
+                let waited = oldest.enqueued.elapsed();
+                if waited >= self.max_linger {
+                    break;
+                }
+                let (s, _timeout) = self
+                    .nonempty
+                    .wait_timeout(state, self.max_linger - waited)
+                    .expect("queue lock");
+                state = s;
+            } else {
+                state = self.nonempty.wait(state).expect("queue lock");
+            }
+        }
+        if state.jobs.is_empty() {
+            debug_assert!(state.closed);
+            return None;
+        }
+        let take = state.jobs.len().min(self.max_batch);
+        let batch: Vec<Job> = state.jobs.drain(..take).collect();
+        self.space.notify_all();
+        Some(batch)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The serving pipeline.
+// ---------------------------------------------------------------------------
+
+/// End-of-serve accounting, printed by the bin on exit.
+#[derive(Copy, Clone, Default, Debug)]
+pub struct ServeReport {
+    /// Frames that parsed as sort requests and were served `ok`.
+    pub served: u64,
+    /// Frames rejected with a typed `err` response.
+    pub rejected: u64,
+    /// Plane dispatches (batches popped by workers).
+    pub batches: u64,
+    /// Worker threads used.
+    pub workers: usize,
+}
+
+fn resolve_workers(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        requested
+    }
+}
+
+/// The worker loop: drain plane batches, sort, route responses. Shared by
+/// both serving modes.
+fn worker_loop(
+    engine: &SortEngine,
+    queue: &CoalescerQueue,
+    batches: &AtomicU64,
+    rejected: &AtomicU64,
+) {
+    let mut scratch = engine.scratch();
+    while let Some(batch) = queue.next_batch() {
+        batches.fetch_add(1, Ordering::Relaxed);
+        // Expire requests that waited past their deadline before burning
+        // plane lanes on them.
+        let (live, expired): (Vec<Job>, Vec<Job>) =
+            batch.into_iter().partition(|job| {
+                engine.cfg.request_timeout.is_none_or(|t| job.enqueued.elapsed() <= t)
+            });
+        for job in expired {
+            rejected.fetch_add(1, Ordering::Relaxed);
+            let e = FrameError::Timeout {
+                waited_ms: job.enqueued.elapsed().as_millis() as u64,
+            };
+            let _ = job.reply.send((job.seq, format_err(&job.id, &e)));
+        }
+        if live.is_empty() {
+            continue;
+        }
+        let requests: Vec<Request> = live
+            .iter()
+            .map(|job| Request {
+                id: job.id.clone(),
+                keys: job.keys.clone(),
+            })
+            .collect();
+        match engine.sort_batch(&requests, &mut scratch) {
+            Ok(sorted) => {
+                for (job, keys) in live.iter().zip(&sorted) {
+                    let _ = job
+                        .reply
+                        .send((job.seq, format_ok(&job.id, keys)));
+                }
+            }
+            Err(e) => {
+                // Typed, never panicking: every request of the failed
+                // batch gets the internal error response.
+                for job in &live {
+                    rejected.fetch_add(1, Ordering::Relaxed);
+                    let _ =
+                        job.reply.send((job.seq, format_err(&job.id, &e)));
+                }
+            }
+        }
+    }
+}
+
+/// Re-sequencing response writer: responses arrive keyed by the reader's
+/// per-connection sequence number and are written in exactly that order,
+/// making output bytes independent of worker scheduling.
+fn writer_loop<W: Write>(
+    rx: std::sync::mpsc::Receiver<(u64, String)>,
+    mut out: W,
+) -> std::io::Result<()> {
+    // Min-heap on seq via Reverse.
+    let mut pending: BinaryHeap<std::cmp::Reverse<(u64, String)>> =
+        BinaryHeap::new();
+    let mut next = 0u64;
+    for (seq, line) in rx {
+        pending.push(std::cmp::Reverse((seq, line)));
+        while pending.peek().is_some_and(|r| r.0 .0 == next) {
+            let std::cmp::Reverse((_, line)) =
+                pending.pop().expect("peeked");
+            writeln!(out, "{line}")?;
+            next += 1;
+        }
+    }
+    debug_assert!(pending.is_empty(), "writer lost a sequence number");
+    out.flush()
+}
+
+/// Serves one line stream (stdin mode, or one accepted socket): parse
+/// frames, submit jobs, and deliver re-sequenced responses to `output`.
+/// `after_input` runs once the input is exhausted (EOF, shutdown frame, or
+/// a torn read), *before* the writer is waited on — stdin mode closes the
+/// queue there so a pending partial plane drains immediately instead of
+/// waiting out its linger. Returns `(served, rejected, saw_shutdown)`.
+fn pump_connection<R: BufRead, W: Write + Send>(
+    engine: &SortEngine,
+    queue: &CoalescerQueue,
+    input: R,
+    output: W,
+    blocking_submit: bool,
+    after_input: impl FnOnce(),
+) -> Result<(u64, u64, bool), ServerError> {
+    let (tx, rx) = channel::<(u64, String)>();
+    let mut served = 0u64;
+    let mut rejected = 0u64;
+    let mut shutdown = false;
+    let mut read_err: Option<std::io::Error> = None;
+    let write_result = std::thread::scope(|s| {
+        let writer = s.spawn(move || writer_loop(rx, output));
+        let mut seq = 0u64;
+        let mut reject =
+            |seq: u64, id: &str, e: &FrameError, tx: &Sender<(u64, String)>| {
+                rejected += 1;
+                let _ = tx.send((seq, format_err(id, e)));
+            };
+        for line in input.lines() {
+            let line = match line {
+                Ok(line) => line,
+                Err(e) => {
+                    // A torn read ends the connection; everything already
+                    // submitted still drains through the writer.
+                    read_err = Some(e);
+                    break;
+                }
+            };
+            match parse_frame(&line, &engine.cfg) {
+                Ok(None) => {}
+                Ok(Some(Frame::Shutdown { id })) => {
+                    let _ = tx.send((seq, format!("ok {id} draining")));
+                    shutdown = true;
+                    break;
+                }
+                Ok(Some(Frame::Sort(req))) => {
+                    let job = Job {
+                        seq,
+                        id: req.id,
+                        keys: req.keys,
+                        enqueued: Instant::now(),
+                        reply: tx.clone(),
+                    };
+                    let submitted = if blocking_submit {
+                        queue.submit_blocking(job)
+                    } else {
+                        queue.try_submit(job)
+                    };
+                    match submitted {
+                        Ok(()) => served += 1,
+                        Err((job, e)) => reject(seq, &job.id, &e, &tx),
+                    }
+                    seq += 1;
+                }
+                Err(e) => {
+                    reject(seq, "-", &e, &tx);
+                    seq += 1;
+                }
+            }
+        }
+        after_input();
+        drop(tx);
+        writer.join().expect("writer thread")
+    });
+    write_result?;
+    if let Some(e) = read_err {
+        return Err(ServerError::Io(e));
+    }
+    Ok((served, rejected, shutdown))
+}
+
+/// Stdin mode: reads frames from `input` until EOF (or a `shutdown`
+/// frame), sorts them through `workers` scoped worker threads, and writes
+/// responses to `output` **in request order** — byte-identical across
+/// worker counts and plane widths. The pipe blocks when the bounded queue
+/// is full; nothing is rejected for load.
+///
+/// # Errors
+///
+/// Only I/O errors surface here; per-request problems are `err` lines.
+pub fn serve_lines<R: BufRead, W: Write + Send>(
+    engine: &SortEngine,
+    input: R,
+    output: W,
+) -> Result<ServeReport, ServerError> {
+    let workers = resolve_workers(engine.cfg.workers);
+    let queue = CoalescerQueue::new(
+        engine.cfg.queue_depth,
+        engine.cfg.max_batch,
+        engine.cfg.max_linger,
+    );
+    let batches = AtomicU64::new(0);
+    let rejected = AtomicU64::new(0);
+    let (served, line_rejected) = std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| worker_loop(engine, &queue, &batches, &rejected));
+        }
+        // EOF (or shutdown frame): drain-then-exit. The queue closes as
+        // soon as input ends, so workers finish every queued plane (no
+        // linger wait) before the scope joins them.
+        let pumped = pump_connection(engine, &queue, input, output, true, || {
+            queue.close();
+        });
+        pumped.map(|(served, rejected, _)| (served, rejected))
+    })?;
+    Ok(ServeReport {
+        served,
+        rejected: line_rejected + rejected.load(Ordering::Relaxed),
+        batches: batches.load(Ordering::Relaxed),
+        workers,
+    })
+}
+
+/// TCP mode: accepts localhost connections on `listener`, coalescing *all*
+/// connections' requests into shared planes. Per-connection responses stay
+/// in that connection's request order. Submission is non-blocking: when
+/// the bounded queue is full the client gets a typed `overloaded`
+/// rejection with a retry hint. A `shutdown` frame from any connection
+/// stops the accept loop, drains the queue, and returns.
+///
+/// # Errors
+///
+/// Listener/accept errors; per-connection I/O errors only end that
+/// connection.
+pub fn serve_tcp(
+    engine: &SortEngine,
+    listener: TcpListener,
+) -> Result<ServeReport, ServerError> {
+    let workers = resolve_workers(engine.cfg.workers);
+    let queue = CoalescerQueue::new(
+        engine.cfg.queue_depth,
+        engine.cfg.max_batch,
+        engine.cfg.max_linger,
+    );
+    let batches = AtomicU64::new(0);
+    let rejected = AtomicU64::new(0);
+    let served = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+    let local = listener.local_addr()?;
+    std::thread::scope(|s| -> Result<(), ServerError> {
+        for _ in 0..workers {
+            s.spawn(|| worker_loop(engine, &queue, &batches, &rejected));
+        }
+        loop {
+            let (stream, _) = listener.accept()?;
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let queue = &queue;
+            let stop = &stop;
+            let served = &served;
+            let rejected = &rejected;
+            s.spawn(move || {
+                let reader = match stream.try_clone() {
+                    Ok(r) => BufReader::new(r),
+                    Err(_) => return,
+                };
+                if let Ok((ok, bad, saw_shutdown)) = pump_connection(
+                    engine,
+                    queue,
+                    reader,
+                    stream,
+                    false,
+                    || {},
+                ) {
+                    served.fetch_add(ok, Ordering::Relaxed);
+                    rejected.fetch_add(bad, Ordering::Relaxed);
+                    if saw_shutdown && !stop.swap(true, Ordering::SeqCst) {
+                        // Wake the accept loop so it can exit; the
+                        // connection is discarded immediately.
+                        let _ = TcpStream::connect(local);
+                    }
+                }
+            });
+        }
+        // Drain-then-exit: no new requests, queued planes still complete.
+        queue.close();
+        Ok(())
+    })?;
+    Ok(ServeReport {
+        served: served.load(Ordering::Relaxed),
+        rejected: rejected.load(Ordering::Relaxed),
+        batches: batches.load(Ordering::Relaxed),
+        workers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg4x2() -> ServerConfig {
+        let mut cfg = ServerConfig::new(4, 2);
+        cfg.workers = 1;
+        cfg
+    }
+
+    #[test]
+    fn parse_frame_grammar() {
+        let cfg = cfg4x2();
+        assert_eq!(parse_frame("", &cfg), Ok(None));
+        assert_eq!(parse_frame("   ", &cfg), Ok(None));
+        assert_eq!(parse_frame("# comment", &cfg), Ok(None));
+        let frame = parse_frame("sort r1 00 0M 11\n", &cfg).unwrap().unwrap();
+        match frame {
+            Frame::Sort(req) => {
+                assert_eq!(req.id, "r1");
+                assert_eq!(req.keys.len(), 3);
+                assert_eq!(req.keys[1].to_string(), "0M");
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+        assert_eq!(
+            parse_frame("shutdown s9", &cfg).unwrap(),
+            Some(Frame::Shutdown { id: "s9".into() })
+        );
+        assert_eq!(
+            parse_frame("shutdown", &cfg).unwrap(),
+            Some(Frame::Shutdown { id: "-".into() })
+        );
+    }
+
+    #[test]
+    fn parse_frame_typed_rejections() {
+        let cfg = cfg4x2();
+        let malformed = parse_frame("sort", &cfg).unwrap_err();
+        assert_eq!(malformed.code(), "malformed");
+        assert_eq!(parse_frame("sort r1", &cfg).unwrap_err().code(), "empty");
+        assert_eq!(
+            parse_frame("frobnicate r1 00", &cfg).unwrap_err().code(),
+            "malformed"
+        );
+        let too_many = parse_frame("sort r1 00 00 00 00 00", &cfg).unwrap_err();
+        assert_eq!(
+            too_many,
+            FrameError::TooManyKeys { got: 5, max: 4 }
+        );
+        // Bad character, bad validity, bad width — all `bad-key`.
+        for line in ["sort r1 0Z", "sort r1 MM", "sort r1 010"] {
+            let e = parse_frame(line, &cfg).unwrap_err();
+            assert_eq!(e.code(), "bad-key", "{line}");
+        }
+        let mut small = cfg4x2();
+        small.max_frame_bytes = 8;
+        assert_eq!(
+            parse_frame("sort r1 00 11", &small).unwrap_err().code(),
+            "oversized"
+        );
+    }
+
+    #[test]
+    fn error_lines_are_wire_stable() {
+        let e = FrameError::Overloaded {
+            queued: 7,
+            depth: 7,
+            retry_ms: 2,
+        };
+        assert_eq!(
+            format_err("req-9", &e),
+            "err req-9 overloaded queue full (7/7 requests); retry-ms=2"
+        );
+        assert_eq!(
+            format_err("-", &FrameError::Empty),
+            "err - empty request carries no keys"
+        );
+    }
+
+    #[test]
+    fn engine_rejects_bad_configs() {
+        for (channels, width) in [(1, 2), (4, 0), (4, MAX_WIDTH + 1)] {
+            let err = SortEngine::new(ServerConfig::new(channels, width))
+                .err()
+                .expect("must be rejected");
+            assert!(matches!(err, ServerError::BadConfig { .. }), "{err}");
+        }
+        let mut cfg = cfg4x2();
+        cfg.max_batch = 0;
+        assert!(SortEngine::new(cfg).is_err());
+    }
+
+    #[test]
+    fn engine_rejects_a_non_sorting_netlist() {
+        let mut n = Netlist::new("identity");
+        let ins: Vec<_> =
+            (0..4).map(|i| n.input(format!("ch{i}_b0"))).collect();
+        for (i, &node) in ins.iter().enumerate() {
+            n.set_output(format!("out{i}_b0"), node);
+        }
+        let err = SortEngine::from_netlist(ServerConfig::new(4, 1), &n)
+            .err()
+            .expect("identity must be rejected");
+        assert!(matches!(err, ServerError::Circuit(_)), "{err}");
+    }
+
+    #[test]
+    fn sort_batch_pads_short_requests() {
+        let engine = SortEngine::new(cfg4x2()).unwrap();
+        let mut scratch = engine.scratch();
+        let requests = vec![
+            Request {
+                id: "a".into(),
+                keys: vec!["11".parse().unwrap(), "00".parse().unwrap()],
+            },
+            Request {
+                id: "b".into(),
+                keys: vec!["0M".parse().unwrap()],
+            },
+        ];
+        let sorted = engine.sort_batch(&requests, &mut scratch).unwrap();
+        assert_eq!(sorted.len(), 2);
+        let strs: Vec<Vec<String>> = sorted
+            .iter()
+            .map(|keys| keys.iter().map(|k| k.to_string()).collect())
+            .collect();
+        assert_eq!(strs[0], vec!["00", "11"]);
+        assert_eq!(strs[1], vec!["0M"]);
+    }
+
+    #[test]
+    fn queue_saturation_rejects_with_retry_hint() {
+        let queue = CoalescerQueue::new(2, 64, Duration::from_millis(5));
+        let (tx, _rx) = channel();
+        let job = |seq| Job {
+            seq,
+            id: format!("r{seq}"),
+            keys: vec!["00".parse().unwrap()],
+            enqueued: Instant::now(),
+            reply: tx.clone(),
+        };
+        queue.try_submit(job(0)).unwrap();
+        queue.try_submit(job(1)).unwrap();
+        let (returned, e) = queue.try_submit(job(2)).unwrap_err();
+        assert_eq!(returned.id, "r2");
+        match e {
+            FrameError::Overloaded {
+                queued,
+                depth,
+                retry_ms,
+            } => {
+                assert_eq!((queued, depth), (2, 2));
+                assert!(retry_ms >= 1);
+            }
+            other => panic!("expected overload, got {other:?}"),
+        }
+        // Rejected is not buffered: the queue still holds exactly 2.
+        assert_eq!(queue.queued(), 2);
+        queue.close();
+        let (_, e) = queue.try_submit(job(3)).unwrap_err();
+        assert_eq!(e, FrameError::ShuttingDown);
+    }
+}

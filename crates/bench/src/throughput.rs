@@ -49,6 +49,39 @@ pub const JSON_SCHEMA: &str = "mcs-throughput-v1";
 /// Widest supported channel value (rank arithmetic uses `u64` codewords).
 pub const MAX_WIDTH: usize = 32;
 
+/// Most chunks one run may schedule. The per-chunk checksum vector holds
+/// one `u64` per chunk, so this bound also caps that allocation at 32 GiB
+/// — any realistic workload sits far below it, but pathological
+/// `vectors`/`chunk_lanes` combinations must be a typed error
+/// ([`ThroughputError::TooManyChunks`]), not an abort.
+pub const MAX_CHUNKS: u64 = u32::MAX as u64;
+
+/// Computes the chunk count for a (vectors, chunk_lanes) pair, with a
+/// typed error when it exceeds [`MAX_CHUNKS`] (or `usize` on 32-bit
+/// targets).
+///
+/// # Errors
+///
+/// [`ThroughputError::TooManyChunks`].
+pub fn chunk_count(
+    vectors: u64,
+    chunk_lanes: usize,
+) -> Result<usize, ThroughputError> {
+    let chunks = vectors.div_ceil(chunk_lanes.max(1) as u64);
+    if chunks > MAX_CHUNKS {
+        return Err(ThroughputError::TooManyChunks {
+            vectors,
+            chunk_lanes,
+            chunks,
+        });
+    }
+    usize::try_from(chunks).map_err(|_| ThroughputError::TooManyChunks {
+        vectors,
+        chunk_lanes,
+        chunks,
+    })
+}
+
 /// One benchmark cell: which circuit to stream and how hard.
 #[derive(Copy, Clone, Debug)]
 pub struct ThroughputConfig {
@@ -122,6 +155,16 @@ pub enum ThroughputError {
         /// Human-readable diagnosis.
         detail: String,
     },
+    /// `vectors / chunk_lanes` produces more chunks than the per-chunk
+    /// bookkeeping (one checksum slot each) can address.
+    TooManyChunks {
+        /// Requested vector count.
+        vectors: u64,
+        /// Lanes per chunk.
+        chunk_lanes: usize,
+        /// The resulting chunk count that overflowed the bound.
+        chunks: u64,
+    },
 }
 
 impl fmt::Display for ThroughputError {
@@ -150,6 +193,16 @@ impl fmt::Display for ThroughputError {
             ThroughputError::NotSorted { lane, detail } => {
                 write!(f, "unsorted output at lane {lane}: {detail}")
             }
+            ThroughputError::TooManyChunks {
+                vectors,
+                chunk_lanes,
+                chunks,
+            } => write!(
+                f,
+                "{vectors} vectors / {chunk_lanes} chunk lanes = {chunks} \
+                 chunks, beyond the addressable bound of {}",
+                MAX_CHUNKS
+            ),
         }
     }
 }
@@ -240,8 +293,7 @@ pub fn run_cell(cfg: &ThroughputConfig) -> Result<CellReport, ThroughputError> {
         0
     };
 
-    let chunks = usize::try_from(cfg.vectors.div_ceil(cfg.chunk_lanes as u64))
-        .expect("chunk count fits in usize");
+    let chunks = chunk_count(cfg.vectors, cfg.chunk_lanes)?;
     let workers = resolve_workers(cfg.workers, chunks);
 
     let start = Instant::now();
@@ -696,5 +748,34 @@ mod tests {
         assert_eq!(cell_network(8).size(), best_size(8).unwrap().size());
         // n = 16 has no optimal table; Batcher's 16-sorter has 63 CEs.
         assert_eq!(cell_network(16).size(), 63);
+    }
+
+    #[test]
+    fn chunk_count_errors_at_the_overflow_boundary() {
+        // Exactly at the bound: fine.
+        assert_eq!(chunk_count(MAX_CHUNKS, 1).unwrap(), MAX_CHUNKS as usize);
+        // One chunk past the bound: typed error, not a panic or an abort.
+        match chunk_count(MAX_CHUNKS + 1, 1) {
+            Err(ThroughputError::TooManyChunks {
+                vectors,
+                chunk_lanes,
+                chunks,
+            }) => {
+                assert_eq!(vectors, MAX_CHUNKS + 1);
+                assert_eq!(chunk_lanes, 1);
+                assert_eq!(chunks, MAX_CHUNKS + 1);
+            }
+            other => panic!("expected TooManyChunks, got {other:?}"),
+        }
+        // The pathological worst case stays a typed error too.
+        assert!(matches!(
+            chunk_count(u64::MAX, 1),
+            Err(ThroughputError::TooManyChunks { .. })
+        ));
+        // Rounding up still lands exactly on the bound.
+        assert_eq!(
+            chunk_count(2 * MAX_CHUNKS - 1, 2).unwrap(),
+            MAX_CHUNKS as usize
+        );
     }
 }

@@ -185,6 +185,74 @@ impl TritBlock {
             .sum()
     }
 
+    /// Transposes lane-major rows into port-major blocks: block `p` carries
+    /// `rows[i][p]` at lane `i`. This is the packing step of a batching
+    /// evaluator — each row is one test vector (or one serving request),
+    /// each output block one circuit port — and the inverse of reading the
+    /// rows back with [`TritBlock::unpack_lane`]. Pad lanes past `rows.len()`
+    /// stay stable `0`, so the blocks feed straight into `eval_block`-style
+    /// consumers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows do not all share one length.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mcs_logic::{Trit, TritBlock};
+    ///
+    /// let rows = [
+    ///     [Trit::Zero, Trit::One],
+    ///     [Trit::Meta, Trit::Zero],
+    /// ];
+    /// let blocks = TritBlock::pack_rows(&rows);
+    /// assert_eq!(blocks.len(), 2);          // one block per port
+    /// assert_eq!(blocks[0].lanes(), 2);     // one lane per row
+    /// assert_eq!(blocks[0].lane(1), Trit::Meta);
+    /// assert_eq!(TritBlock::unpack_lane(&blocks, 0), vec![Trit::Zero, Trit::One]);
+    /// ```
+    pub fn pack_rows<R: AsRef<[Trit]>>(rows: &[R]) -> Vec<TritBlock> {
+        let ports = rows.first().map_or(0, |r| r.as_ref().len());
+        for row in rows {
+            assert_eq!(row.as_ref().len(), ports, "rows must share a length");
+        }
+        let lanes = rows.len();
+        let mut blocks: Vec<TritBlock> = (0..ports)
+            .map(|_| TritBlock::zeros(lanes))
+            .collect();
+        for (k, chunk) in rows.chunks(LANES).enumerate() {
+            for (p, block) in blocks.iter_mut().enumerate() {
+                let mut z = 0u64;
+                let mut o = 0u64;
+                for (j, row) in chunk.iter().enumerate() {
+                    match row.as_ref()[p] {
+                        Trit::Zero => z |= 1 << j,
+                        Trit::One => o |= 1 << j,
+                        Trit::Meta => {
+                            z |= 1 << j;
+                            o |= 1 << j;
+                        }
+                    }
+                }
+                // Pad lanes keep the stable-0 encoding invariant.
+                z |= !TritWord::lane_mask(chunk.len());
+                block.set_word(k, TritWord::from_planes(z, o));
+            }
+        }
+        blocks
+    }
+
+    /// Reads lane `lane` across a slice of blocks — one value per block, in
+    /// block order. The row-extraction inverse of [`TritBlock::pack_rows`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range for any block.
+    pub fn unpack_lane(blocks: &[TritBlock], lane: usize) -> Vec<Trit> {
+        blocks.iter().map(|b| b.lane(lane)).collect()
+    }
+
     /// Index of the first lane where `self` and `other` differ, or `None`
     /// if they are lane-for-lane equal.
     ///
@@ -312,6 +380,46 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn pack_rows_transposes_and_masks_at_edge_lane_counts() {
+        for lanes in [0usize, 1, 63, 64, 65, 130] {
+            let rows: Vec<Vec<Trit>> = (0..lanes)
+                .map(|i| (0..3).map(|p| Trit::ALL[(i + p) % 3]).collect())
+                .collect();
+            let blocks = TritBlock::pack_rows(&rows);
+            assert_eq!(blocks.len(), if lanes == 0 { 0 } else { 3 });
+            for (p, b) in blocks.iter().enumerate() {
+                assert_eq!(b.lanes(), lanes);
+                assert_tail_invariant(b);
+                for (i, row) in rows.iter().enumerate() {
+                    assert_eq!(b.lane(i), row[p], "lane {i} port {p}");
+                }
+            }
+            for (i, row) in rows.iter().enumerate() {
+                assert_eq!(&TritBlock::unpack_lane(&blocks, i), row);
+            }
+        }
+    }
+
+    #[test]
+    fn pack_rows_matches_from_lanes_per_port() {
+        let rows: Vec<Vec<Trit>> = (0..100)
+            .map(|i| (0..4).map(|p| Trit::ALL[(i * 7 + p) % 3]).collect())
+            .collect();
+        let blocks = TritBlock::pack_rows(&rows);
+        for p in 0..4 {
+            let column: Vec<Trit> = rows.iter().map(|r| r[p]).collect();
+            assert_eq!(blocks[p], TritBlock::from_lanes(&column), "port {p}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "share a length")]
+    fn pack_rows_rejects_ragged_rows() {
+        let rows = vec![vec![Trit::Zero, Trit::One], vec![Trit::Meta]];
+        let _ = TritBlock::pack_rows(&rows);
     }
 
     #[test]

@@ -48,6 +48,8 @@
 //! assert_eq!(out, n.eval_block(&inputs)); // M NAND 0 = 1, all 100 lanes
 //! ```
 
+use std::fmt;
+
 use mcs_logic::{PlaneWidth, TritBlock, TritPlanes, TritWord};
 
 use crate::gate::Gate;
@@ -55,6 +57,65 @@ use crate::netlist::Netlist;
 
 /// Number of lanes per scratch word (64).
 use mcs_logic::word::LANES;
+
+/// A rejected [`EvalTape`] evaluation: the inputs or the scratch do not fit
+/// the tape. Returned by [`EvalTape::try_eval_block_with`] so streaming
+/// callers (the throughput engine's workers, the serving layer's
+/// per-connection loops) can surface misuse as a typed error instead of a
+/// panic mid-stream.
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub enum TapeEvalError {
+    /// The scratch was created by [`EvalTape::scratch`] of a different tape.
+    ScratchMismatch {
+        /// Slot count the scratch was sized for.
+        scratch_slots: usize,
+        /// Slot count of this tape.
+        tape_slots: usize,
+    },
+    /// The number of input blocks differs from the tape's input count.
+    InputCount {
+        /// Input blocks supplied.
+        got: usize,
+        /// Primary inputs of the compiled netlist.
+        want: usize,
+    },
+    /// The input blocks do not all share one lane count.
+    LaneMismatch {
+        /// Index of the first block with a different lane count.
+        port: usize,
+        /// Its lane count.
+        got: usize,
+        /// Lane count of block 0.
+        want: usize,
+    },
+}
+
+impl fmt::Display for TapeEvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TapeEvalError::ScratchMismatch {
+                scratch_slots,
+                tape_slots,
+            } => write!(
+                f,
+                "scratch was sized for a different tape ({scratch_slots} \
+                 slots, tape has {tape_slots})"
+            ),
+            TapeEvalError::InputCount { got, want } => write!(
+                f,
+                "wrong number of input blocks: got {got}, tape has {want} \
+                 primary inputs"
+            ),
+            TapeEvalError::LaneMismatch { port, got, want } => write!(
+                f,
+                "input blocks must share a lane count: block {port} has \
+                 {got} lanes, block 0 has {want}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TapeEvalError {}
 
 /// The cell operation of a [`TapeRun`]. Sources (inputs and constants) never
 /// appear in runs — they are loaded or prefilled before the tape executes.
@@ -321,16 +382,51 @@ impl EvalTape {
         inputs: &[TritBlock],
         scratch: &mut TapeScratch,
     ) -> Vec<TritBlock> {
-        assert_eq!(
-            scratch.slots,
-            self.slot_count(),
-            "scratch was sized for a different tape"
-        );
-        match scratch.width {
+        self.try_eval_block_with(inputs, scratch)
+            .unwrap_or_else(|e| panic!("{}: {e}", self.name))
+    }
+
+    /// The never-panicking twin of [`EvalTape::eval_block_with`]: a scratch
+    /// from a different tape, a wrong input count, or disagreeing lane
+    /// counts come back as a typed [`TapeEvalError`] instead of a panic.
+    /// This is the entry point for long-running streaming callers (e.g. a
+    /// serving loop) that must not die on a malformed batch.
+    ///
+    /// # Errors
+    ///
+    /// See [`TapeEvalError`].
+    pub fn try_eval_block_with(
+        &self,
+        inputs: &[TritBlock],
+        scratch: &mut TapeScratch,
+    ) -> Result<Vec<TritBlock>, TapeEvalError> {
+        if scratch.slots != self.slot_count() {
+            return Err(TapeEvalError::ScratchMismatch {
+                scratch_slots: scratch.slots,
+                tape_slots: self.slot_count(),
+            });
+        }
+        if inputs.len() != self.input_count {
+            return Err(TapeEvalError::InputCount {
+                got: inputs.len(),
+                want: self.input_count,
+            });
+        }
+        let lanes = inputs.first().map_or(0, TritBlock::lanes);
+        if let Some(port) =
+            inputs.iter().position(|b| b.lanes() != lanes)
+        {
+            return Err(TapeEvalError::LaneMismatch {
+                port,
+                got: inputs[port].lanes(),
+                want: lanes,
+            });
+        }
+        Ok(match scratch.width {
             PlaneWidth::X1 => self.eval_generic::<1>(inputs, scratch),
             PlaneWidth::X4 => self.eval_generic::<4>(inputs, scratch),
             PlaneWidth::X8 => self.eval_generic::<8>(inputs, scratch),
-        }
+        })
     }
 
     fn eval_generic<const W: usize>(
@@ -338,16 +434,8 @@ impl EvalTape {
         inputs: &[TritBlock],
         scratch: &mut TapeScratch,
     ) -> Vec<TritBlock> {
-        assert_eq!(
-            inputs.len(),
-            self.input_count,
-            "wrong number of input blocks for {}",
-            self.name
-        );
+        debug_assert_eq!(inputs.len(), self.input_count);
         let lanes = inputs.first().map_or(0, TritBlock::lanes);
-        for b in inputs {
-            assert_eq!(b.lanes(), lanes, "input blocks must share a lane count");
-        }
         let nwords = lanes.div_ceil(LANES);
         let mut out: Vec<TritBlock> = (0..self.outputs.len())
             .map(|_| TritBlock::zeros(lanes))
@@ -636,6 +724,52 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert!(out[0].is_empty());
         assert_eq!(out, n.eval_block(&[]));
+    }
+
+    #[test]
+    fn try_eval_returns_typed_errors_instead_of_panicking() {
+        let n = full_cell_netlist();
+        let tape = EvalTape::compile(&n);
+
+        // Scratch from a different tape.
+        let mut small = Netlist::new("small");
+        let a = small.input("a");
+        small.set_output("a", a);
+        let mut wrong = EvalTape::compile(&small).scratch(PlaneWidth::X1);
+        let err = tape
+            .try_eval_block_with(&ternary_inputs(3, 4), &mut wrong)
+            .unwrap_err();
+        assert!(matches!(err, TapeEvalError::ScratchMismatch { .. }));
+        assert!(err.to_string().contains("different tape"));
+
+        // Wrong input count.
+        let mut scratch = tape.scratch(PlaneWidth::X4);
+        let err = tape
+            .try_eval_block_with(&ternary_inputs(2, 4), &mut scratch)
+            .unwrap_err();
+        assert_eq!(err, TapeEvalError::InputCount { got: 2, want: 3 });
+
+        // Disagreeing lane counts.
+        let mut inputs = ternary_inputs(3, 64);
+        inputs[2] = TritBlock::splat(Trit::One, 65);
+        let err = tape
+            .try_eval_block_with(&inputs, &mut scratch)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TapeEvalError::LaneMismatch {
+                port: 2,
+                got: 65,
+                want: 64
+            }
+        );
+
+        // And the happy path still matches eval_block.
+        let inputs = ternary_inputs(3, 100);
+        assert_eq!(
+            tape.try_eval_block_with(&inputs, &mut scratch).unwrap(),
+            n.eval_block(&inputs)
+        );
     }
 
     #[test]
