@@ -11,8 +11,13 @@
 //! * `module …` — structural Verilog, re-imported through
 //!   [`mcs_netlist::export::from_verilog`].
 //!
-//! On save the format follows the extension: `.mcsnb`/`.mcsnlb` binary,
-//! `.v` Verilog, `.dot` Graphviz, anything else the text artifact form.
+//! On save the format follows the extension, matched **case-insensitively**
+//! (`FOO.MCSNB` is binary, not silently text): `.mcsnb`/`.mcsnlb` binary,
+//! `.v` Verilog, `.dot` Graphviz, `.mcsn`/`.mcsnl` (or no extension at
+//! all) the text artifact form. Any other extension is a typed
+//! [`ArtifactError::UnknownExtension`] — a typo like `.mcsbn` must fail
+//! loudly at save time, not produce a file the loader then rejects with a
+//! misleading format error.
 
 use std::fmt;
 use std::path::Path;
@@ -29,6 +34,11 @@ pub enum ArtifactError {
     Io(String),
     /// The bytes are none of the known artifact formats.
     UnknownFormat,
+    /// A save path whose extension names no supported format.
+    UnknownExtension {
+        /// The offending extension (without the dot), as given.
+        extension: String,
+    },
     /// A network artifact that fails to load or re-verify.
     Network(NetworkArtifactError),
     /// A netlist artifact that fails to load.
@@ -44,6 +54,10 @@ impl fmt::Display for ArtifactError {
             ArtifactError::UnknownFormat => {
                 write!(f, "not a recognised artifact format")
             }
+            ArtifactError::UnknownExtension { extension } => write!(
+                f,
+                "extension {extension:?} names no supported artifact format"
+            ),
             ArtifactError::Network(e) => write!(f, "network artifact: {e}"),
             ArtifactError::Netlist(e) => write!(f, "netlist artifact: {e}"),
             ArtifactError::Verilog(e) => write!(f, "verilog import: {e}"),
@@ -71,6 +85,21 @@ impl From<VerilogImportError> for ArtifactError {
     }
 }
 
+/// The save path's extension, lowercased for case-insensitive format
+/// dispatch: `None` for no extension at all, the typed error for one that
+/// is not valid UTF-8 (it cannot name a known format).
+fn extension_of(path: &Path) -> Result<Option<String>, ArtifactError> {
+    match path.extension() {
+        None => Ok(None),
+        Some(ext) => match ext.to_str() {
+            Some(s) => Ok(Some(s.to_ascii_lowercase())),
+            None => Err(ArtifactError::UnknownExtension {
+                extension: ext.to_string_lossy().into_owned(),
+            }),
+        },
+    }
+}
+
 fn read(path: &Path) -> Result<Vec<u8>, ArtifactError> {
     std::fs::read(path)
         .map_err(|e| ArtifactError::Io(format!("cannot read {}: {e}", path.display())))
@@ -93,17 +122,21 @@ pub fn load_network(path: &Path) -> Result<NetworkArtifact, ArtifactError> {
     Ok(artifact)
 }
 
-/// Saves a network artifact; `.mcsnb` selects the binary form, anything
-/// else the text form.
+/// Saves a network artifact; the extension (matched case-insensitively)
+/// selects the form: `.mcsnb` binary, `.mcsn` or no extension the text
+/// form.
 ///
 /// # Errors
 ///
-/// Filesystem failures only — the formats carry every network.
+/// Filesystem failures, or [`ArtifactError::UnknownExtension`] for an
+/// extension that names no network format.
 pub fn save_network(path: &Path, artifact: &NetworkArtifact) -> Result<(), ArtifactError> {
-    if path.extension().is_some_and(|e| e == "mcsnb") {
-        write(path, &artifact.to_bytes())
-    } else {
-        write(path, artifact.to_text().as_bytes())
+    match extension_of(path)?.as_deref() {
+        Some("mcsnb") => write(path, &artifact.to_bytes()),
+        Some("mcsn") | None => write(path, artifact.to_text().as_bytes()),
+        Some(other) => Err(ArtifactError::UnknownExtension {
+            extension: other.to_string(),
+        }),
     }
 }
 
@@ -133,19 +166,24 @@ pub fn load_netlist(path: &Path) -> Result<Netlist, ArtifactError> {
     Err(ArtifactError::UnknownFormat)
 }
 
-/// Saves a netlist; the extension picks the format: `.v` structural
-/// Verilog, `.dot` Graphviz, `.mcsnlb` the binary artifact, anything else
-/// the text artifact.
+/// Saves a netlist; the extension (matched case-insensitively) picks the
+/// format: `.v` structural Verilog, `.dot` Graphviz, `.mcsnlb` the binary
+/// artifact, `.mcsnl` or no extension the text artifact.
 ///
 /// # Errors
 ///
-/// Filesystem failures, or a name the artifact formats cannot carry.
+/// Filesystem failures, a name the artifact formats cannot carry, or
+/// [`ArtifactError::UnknownExtension`] for an extension that names no
+/// netlist format.
 pub fn save_netlist(path: &Path, netlist: &Netlist) -> Result<(), ArtifactError> {
-    match path.extension().and_then(|e| e.to_str()) {
+    match extension_of(path)?.as_deref() {
         Some("v") => write(path, to_verilog(netlist).as_bytes()),
         Some("dot") => write(path, to_dot(netlist).as_bytes()),
         Some("mcsnlb") => write(path, &serdes::to_bytes(netlist)?),
-        _ => write(path, serdes::to_text(netlist)?.as_bytes()),
+        Some("mcsnl") | None => write(path, serdes::to_text(netlist)?.as_bytes()),
+        Some(other) => Err(ArtifactError::UnknownExtension {
+            extension: other.to_string(),
+        }),
     }
 }
 
@@ -169,6 +207,67 @@ mod tests {
             let back = load_network(&path).unwrap();
             assert_eq!(back, artifact, "{name}");
         }
+    }
+
+    #[test]
+    fn extensions_match_case_insensitively() {
+        // FOO.MCSNB used to fall through to the text form; the binary/text
+        // choice must not depend on the case the shell happened to use.
+        let artifact = NetworkArtifact::new(best_size(6).unwrap(), 11);
+        for name in ["net_upper.MCSNB", "net_mixed.McSnB"] {
+            let path = temp_path(name);
+            save_network(&path, &artifact).unwrap();
+            let bytes = std::fs::read(&path).unwrap();
+            assert!(!bytes.starts_with(b"mcs-network"), "{name} saved as text");
+            assert_eq!(load_network(&path).unwrap(), artifact, "{name}");
+        }
+        let path = temp_path("net_upper.MCSN");
+        save_network(&path, &artifact).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.starts_with(b"mcs-network"), "MCSN must be text");
+        assert_eq!(load_network(&path).unwrap(), artifact);
+
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        let f = n.nand2(a, b);
+        n.set_output("f", f);
+        for name in ["n_upper.MCSNLB", "n_mixed.McSnLb"] {
+            let path = temp_path(name);
+            save_netlist(&path, &n).unwrap();
+            let back = load_netlist(&path).unwrap();
+            assert_eq!(back.gate_count(), n.gate_count(), "{name}");
+        }
+        let path = temp_path("n_upper.V");
+        save_netlist(&path, &n).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("module "), "V must be Verilog: {text}");
+    }
+
+    #[test]
+    fn unknown_save_extensions_are_typed_errors() {
+        let artifact = NetworkArtifact::new(best_size(6).unwrap(), 11);
+        // A typo'd extension errors at save time instead of writing a file
+        // the loader will reject with a misleading message.
+        match save_network(&temp_path("net.mcsbn"), &artifact) {
+            Err(ArtifactError::UnknownExtension { extension }) => {
+                assert_eq!(extension, "mcsbn");
+            }
+            other => panic!("expected UnknownExtension, got {other:?}"),
+        }
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        let f = n.nand2(a, b);
+        n.set_output("f", f);
+        assert!(matches!(
+            save_netlist(&temp_path("n.json"), &n),
+            Err(ArtifactError::UnknownExtension { .. })
+        ));
+        // No extension at all stays the text form (pipes, tempfiles).
+        let bare = temp_path("netlist_no_ext");
+        save_netlist(&bare, &n).unwrap();
+        assert_eq!(load_netlist(&bare).unwrap().gate_count(), n.gate_count());
     }
 
     #[test]

@@ -25,11 +25,13 @@ use mcs_core::ppc::PrefixTopology;
 use mcs_core::two_sort::build_two_sort;
 use mcs_netlist::TechLibrary;
 
-/// The one way this reproduction can fail: the published Table 7 has no
-/// row for a `(design, width)` the figure needs.
+/// The ways this reproduction can fail: the published Table 7 has no row
+/// for a `(design, width)` the figure needs, or a series asks for a width
+/// outside the measured [`WIDTHS`] grid.
 #[derive(Copy, Clone, Debug)]
 enum Figure1Error {
     MissingRow { design: Design, width: usize },
+    UnknownWidth { width: usize },
 }
 
 impl fmt::Display for Figure1Error {
@@ -38,6 +40,10 @@ impl fmt::Display for Figure1Error {
             Figure1Error::MissingRow { design, width } => write!(
                 f,
                 "published Table 7 has no row for {design:?} at B = {width}"
+            ),
+            Figure1Error::UnknownWidth { width } => write!(
+                f,
+                "B = {width} is not in the measured grid {WIDTHS:?}"
             ),
         }
     }
@@ -79,29 +85,34 @@ fn run() -> Result<(), Figure1Error> {
         .iter()
         .map(|&w| measure(&build_bund2017_two_sort(w), &lib))
         .collect();
-    let idx = |w: usize| WIDTHS.iter().position(|&x| x == w).unwrap();
+    let idx = |w: usize| {
+        WIDTHS
+            .iter()
+            .position(|&x| x == w)
+            .ok_or(Figure1Error::UnknownWidth { width: w })
+    };
 
     series("gate count", |w| {
         Ok((
-            ours[idx(w)].gates as f64,
+            ours[idx(w)?].gates as f64,
             published(Design::Here, w)?.gates as f64,
-            recon[idx(w)].gates as f64,
+            recon[idx(w)?].gates as f64,
             published(Design::Bund2017, w)?.gates as f64,
         ))
     })?;
     series("area [µm²]", |w| {
         Ok((
-            ours[idx(w)].area_um2,
+            ours[idx(w)?].area_um2,
             published(Design::Here, w)?.area_um2,
-            recon[idx(w)].area_um2,
+            recon[idx(w)?].area_um2,
             published(Design::Bund2017, w)?.area_um2,
         ))
     })?;
     series("delay [ps]", |w| {
         Ok((
-            ours[idx(w)].delay_ps,
+            ours[idx(w)?].delay_ps,
             published(Design::Here, w)?.delay_ps,
-            recon[idx(w)].delay_ps,
+            recon[idx(w)?].delay_ps,
             published(Design::Bund2017, w)?.delay_ps,
         ))
     })?;

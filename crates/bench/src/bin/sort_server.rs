@@ -6,7 +6,7 @@
 //! sort_server [--channels N] [--width B] [--workers W] [--planes 1|4|8]
 //!             [--max-batch L] [--linger-us U | --linger-ms M]
 //!             [--queue-depth D] [--timeout-ms T] [--circuit PATH]
-//!             [--listen ADDR] [--quiet]
+//!             [--listen ADDR] [--stats-json PATH] [--quiet]
 //! ```
 //!
 //! Defaults: a 4-channel × 2-bit circuit built from the stock cell network
@@ -22,7 +22,10 @@
 //!
 //! The frame protocol, coalescing and backpressure semantics are
 //! documented in [`mcs_bench::server`]; stdin-mode output is byte-identical
-//! across worker counts and plane widths.
+//! across worker counts and plane widths. Timing is observational only:
+//! `stats` response lines and the `--stats-json PATH` dump (the versioned
+//! `mcs-serverstats-v1` document, written on exit) carry per-stage latency
+//! quantiles without perturbing any sorted output byte.
 
 use std::fmt;
 use std::net::TcpListener;
@@ -31,7 +34,9 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use mcs_bench::artifact::{load_netlist, ArtifactError};
-use mcs_bench::server::{serve_lines, serve_tcp, ServerConfig, ServerError, SortEngine};
+use mcs_bench::server::{
+    serve_lines, serve_tcp, stats_json, ServerConfig, ServerError, SortEngine,
+};
 use mcs_logic::PlaneWidth;
 
 #[derive(Debug)]
@@ -75,6 +80,7 @@ fn run() -> Result<(), CliError> {
     let mut cfg = ServerConfig::new(4, 2);
     let mut circuit: Option<PathBuf> = None;
     let mut listen: Option<String> = None;
+    let mut stats_path: Option<PathBuf> = None;
     let mut quiet = false;
 
     let mut args = std::env::args().skip(1);
@@ -120,6 +126,9 @@ fn run() -> Result<(), CliError> {
             }
             "--circuit" => circuit = Some(PathBuf::from(value("--circuit")?)),
             "--listen" => listen = Some(value("--listen")?),
+            "--stats-json" => {
+                stats_path = Some(PathBuf::from(value("--stats-json")?));
+            }
             "--quiet" => quiet = true,
             other => {
                 return Err(CliError::Usage(format!("unknown argument {other:?}")));
@@ -148,6 +157,9 @@ fn run() -> Result<(), CliError> {
             serve_lines(&engine, stdin.lock(), std::io::stdout())?
         }
     };
+    if let Some(path) = stats_path {
+        std::fs::write(&path, stats_json(&report))?;
+    }
     if !quiet {
         eprintln!(
             "served {} rejected {} batches {} workers {}",

@@ -18,7 +18,9 @@
 //! sampled output must be the sorted valid strings of its inputs — before
 //! the timed loop runs. The reported checksum is byte-identical across
 //! runs, worker counts and plane widths (it depends only on the input
-//! stream and `--chunk-lanes`).
+//! stream and `--chunk-lanes`). Per-chunk eval-latency quantiles (p50/p99
+//! in the table, the full p50/p90/p99/p99.9/max set in the JSON) ride
+//! along as observational columns — they never influence the checksum.
 
 use std::fmt;
 use std::path::PathBuf;
@@ -145,9 +147,9 @@ fn run() -> Result<(), CliError> {
         vectors, planes
     );
     println!(
-        "{:>4} {:>4}  {:>5} {:>7} {:>6}  {:>3}  {:>10}  {:>14}  {:>18}",
+        "{:>4} {:>4}  {:>5} {:>7} {:>6}  {:>3}  {:>10}  {:>14}  {:>16}  {:>18}",
         "n", "B", "CEs", "gates", "depth", "thr", "elapsed[s]",
-        "vectors/s", "checksum"
+        "vectors/s", "eval p50/p99[µs]", "checksum"
     );
     let mut reports: Vec<CellReport> = Vec::new();
     for (channels, width) in cells {
@@ -158,7 +160,7 @@ fn run() -> Result<(), CliError> {
         };
         let r = run_cell(&cfg)?;
         println!(
-            "{:>4} {:>4}  {:>5} {:>7} {:>6}  {:>3}  {:>10.3}  {:>14.0}  0x{:016x}",
+            "{:>4} {:>4}  {:>5} {:>7} {:>6}  {:>3}  {:>10.3}  {:>14.0}  {:>16}  0x{:016x}",
             r.channels,
             r.width,
             r.comparators,
@@ -167,6 +169,11 @@ fn run() -> Result<(), CliError> {
             r.workers,
             r.elapsed.as_secs_f64(),
             r.vectors_per_s(),
+            format!(
+                "{}/{}",
+                r.eval_latency.quantile(0.50) / 1_000,
+                r.eval_latency.quantile(0.99) / 1_000
+            ),
             r.checksum,
         );
         reports.push(r);

@@ -30,6 +30,7 @@
 //! paper-vs-measured tables).
 
 pub mod artifact;
+pub mod metrics;
 pub mod published;
 pub mod server;
 pub mod throughput;

@@ -32,12 +32,26 @@
 //! [`FrameError`] responses on the wire ([`ServerError`] covers setup and
 //! I/O), and the serving loop itself never panics on input.
 //!
+//! # Observability
+//!
+//! Every request is stamped with per-stage monotonic timings — queue wait,
+//! coalesce/linger, plane pack, tape eval, re-sequence/write, end-to-end —
+//! aggregated into allocation-free log₂-bucketed [`LatencyHistogram`]s
+//! (lock-free relaxed atomics on the hot path, see [`crate::metrics`]).
+//! The aggregates surface three ways: the extended [`ServeReport`] returned
+//! by [`serve_lines`]/[`serve_tcp`], a live `stats` control frame on the
+//! wire, and the versioned [`stats_json`] blob (`mcs-serverstats-v1`) the
+//! `sort_server` bin dumps via `--stats-json`. Timing is **observational
+//! only**: responses carry no timestamps, so the byte-identical determinism
+//! contract above is untouched.
+//!
 //! # Frame protocol
 //!
 //! Line-oriented text, one frame per line:
 //!
 //! ```text
 //! sort <id> <key> [<key> ...]     request: up to `channels` valid strings
+//! stats [<id>]                    live latency/stage statistics snapshot
 //! shutdown [<id>]                 drain pending requests, then exit
 //! # anything                      comment, ignored (as are blank lines)
 //! ```
@@ -54,7 +68,9 @@
 //! err <id> <code> <detail>        typed rejection, request not served
 //! ```
 //!
-//! Error codes: `malformed`, `empty`, `too-many-keys`, `bad-key`,
+//! A `stats` frame answers with a single `stats <id> …` line (see
+//! [`format_stats_line`]); everything else answers `ok`/`err`. Error
+//! codes: `malformed`, `empty`, `too-many-keys`, `bad-key`,
 //! `oversized`, `overloaded` (carries `retry-ms=<n>`), `timeout`,
 //! `shutting-down`, `internal`. The `<id>` is an opaque client token
 //! echoed back verbatim (`-` when a frame is too malformed to carry one).
@@ -67,6 +83,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+use crate::metrics::{
+    millis_u64, nanos_u64, LatencyHistogram, SharedHistogram, StageSnapshot,
+};
 
 use mcs_gray::ValidString;
 use mcs_logic::{PlaneWidth, Trit, TritBlock, TritVec};
@@ -292,6 +312,11 @@ pub struct Request {
 pub enum Frame {
     /// A sort request.
     Sort(Request),
+    /// A live statistics snapshot request.
+    Stats {
+        /// Client token (`-` if omitted).
+        id: String,
+    },
     /// Graceful drain-then-exit.
     Shutdown {
         /// Client token (`-` if omitted).
@@ -360,6 +385,9 @@ pub fn parse_frame(
             }
             Ok(Some(Frame::Sort(Request { id, keys })))
         }
+        "stats" => Ok(Some(Frame::Stats {
+            id: tokens.next().unwrap_or("-").to_string(),
+        })),
         "shutdown" => Ok(Some(Frame::Shutdown {
             id: tokens.next().unwrap_or("-").to_string(),
         })),
@@ -382,6 +410,150 @@ pub fn format_ok(id: &str, sorted: &[ValidString]) -> String {
 /// Formats the `err` response line for a rejected request.
 pub fn format_err(id: &str, e: &FrameError) -> String {
     format!("err {id} {} {e}", e.code())
+}
+
+// ---------------------------------------------------------------------------
+// Observability: per-stage latency accounting.
+// ---------------------------------------------------------------------------
+
+/// Schema tag of the [`stats_json`] document and the `stats` wire line.
+/// Bump on any backwards-incompatible field change (see README,
+/// "Observability").
+pub const STATS_SCHEMA: &str = "mcs-serverstats-v1";
+
+/// Live, lock-free serving statistics shared by the reader(s), workers and
+/// writer(s) of one serve. Recording is relaxed atomics only — no mutex on
+/// any hot path — and [`ServerStats::snapshot`] folds everything into a
+/// plain [`ServeReport`] at any time (mid-serve snapshots are racy but
+/// internally consistent per histogram).
+///
+/// All histograms record **nanoseconds**.
+#[derive(Debug)]
+pub struct ServerStats {
+    served: AtomicU64,
+    rejected: AtomicU64,
+    batches: AtomicU64,
+    workers: usize,
+    queue: SharedHistogram,
+    coalesce: SharedHistogram,
+    pack: SharedHistogram,
+    eval: SharedHistogram,
+    write: SharedHistogram,
+    e2e: SharedHistogram,
+}
+
+impl ServerStats {
+    /// Fresh counters for a serve running `workers` worker threads.
+    pub fn new(workers: usize) -> ServerStats {
+        ServerStats {
+            served: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            workers,
+            queue: SharedHistogram::new(),
+            coalesce: SharedHistogram::new(),
+            pack: SharedHistogram::new(),
+            eval: SharedHistogram::new(),
+            write: SharedHistogram::new(),
+            e2e: SharedHistogram::new(),
+        }
+    }
+
+    fn add_served(&self) {
+        self.served.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn add_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn add_batch(&self) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds the live counters into a value report.
+    pub fn snapshot(&self) -> ServeReport {
+        ServeReport {
+            served: self.served.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            workers: self.workers,
+            stages: StageSnapshot {
+                queue: self.queue.snapshot(),
+                coalesce: self.coalesce.snapshot(),
+                pack: self.pack.snapshot(),
+                eval: self.eval.snapshot(),
+                write: self.write.snapshot(),
+                e2e: self.e2e.snapshot(),
+            },
+        }
+    }
+}
+
+/// The three wire quantiles plus tail and max of one stage, in
+/// microseconds, as `p50/p90/p99/p99.9/max`.
+fn stage_us(h: &LatencyHistogram) -> String {
+    let us = |ns: u64| ns / 1_000;
+    format!(
+        "{}/{}/{}/{}/{}",
+        us(h.quantile(0.50)),
+        us(h.quantile(0.90)),
+        us(h.quantile(0.99)),
+        us(h.quantile(0.999)),
+        us(h.max())
+    )
+}
+
+/// Formats the single-line `stats` response: schema tag, counters, then
+/// `<stage>_us=p50/p90/p99/p99.9/max` for every stage of
+/// [`StageSnapshot::stages`]. The numbers are timings — **not** covered by
+/// the determinism contract (everything else on the wire is).
+pub fn format_stats_line(id: &str, report: &ServeReport) -> String {
+    let mut line = format!(
+        "stats {id} schema={STATS_SCHEMA} served={} rejected={} batches={} \
+         workers={}",
+        report.served, report.rejected, report.batches, report.workers
+    );
+    for (name, h) in report.stages.stages() {
+        line.push_str(&format!(" {name}_us={}", stage_us(h)));
+    }
+    line
+}
+
+/// Serialises a report as the versioned `mcs-serverstats-v1` JSON document
+/// (`sort_server --stats-json`). Hand-rolled like the throughput emitter:
+/// the repo takes no serde dependency.
+pub fn stats_json(report: &ServeReport) -> String {
+    let us = |ns: u64| ns / 1_000;
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{STATS_SCHEMA}\",\n"));
+    out.push_str(&format!("  \"served\": {},\n", report.served));
+    out.push_str(&format!("  \"rejected\": {},\n", report.rejected));
+    out.push_str(&format!("  \"batches\": {},\n", report.batches));
+    out.push_str(&format!("  \"workers\": {},\n", report.workers));
+    out.push_str("  \"stages\": {\n");
+    let stages = report.stages.stages();
+    for (i, (name, h)) in stages.iter().enumerate() {
+        out.push_str(&format!("    \"{name}\": {{\n"));
+        out.push_str(&format!("      \"count\": {},\n", h.count()));
+        out.push_str(&format!("      \"p50_us\": {},\n", us(h.quantile(0.50))));
+        out.push_str(&format!("      \"p90_us\": {},\n", us(h.quantile(0.90))));
+        out.push_str(&format!("      \"p99_us\": {},\n", us(h.quantile(0.99))));
+        out.push_str(&format!(
+            "      \"p999_us\": {},\n",
+            us(h.quantile(0.999))
+        ));
+        out.push_str(&format!("      \"max_us\": {},\n", us(h.max())));
+        out.push_str(&format!("      \"mean_us\": {}\n", us(h.mean())));
+        out.push_str(if i + 1 == stages.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  }\n}\n");
+    out
 }
 
 /// The sorting engine: a verified circuit compiled to an [`EvalTape`],
@@ -483,10 +655,28 @@ impl SortEngine {
         requests: &[Request],
         scratch: &mut TapeScratch,
     ) -> Result<Vec<Vec<ValidString>>, FrameError> {
+        self.sort_batch_recording(requests, scratch, None)
+    }
+
+    /// [`SortEngine::sort_batch`] with per-stage timing: the plane-pack and
+    /// tape-eval durations of this batch are recorded into `stats` (when
+    /// given). Timing is observational — the sorted results are identical
+    /// with or without it.
+    ///
+    /// # Errors
+    ///
+    /// See [`SortEngine::sort_batch`].
+    pub fn sort_batch_recording(
+        &self,
+        requests: &[Request],
+        scratch: &mut TapeScratch,
+        stats: Option<&ServerStats>,
+    ) -> Result<Vec<Vec<ValidString>>, FrameError> {
         if requests.is_empty() {
             return Ok(Vec::new());
         }
         let ports = self.cfg.channels * self.cfg.width;
+        let pack_start = Instant::now();
         let rows: Vec<Vec<Trit>> = requests
             .iter()
             .map(|r| {
@@ -501,12 +691,19 @@ impl SortEngine {
             })
             .collect();
         let blocks = TritBlock::pack_rows(&rows);
+        if let Some(stats) = stats {
+            stats.pack.record(nanos_u64(pack_start.elapsed()));
+        }
+        let eval_start = Instant::now();
         let out = self
             .tape
             .try_eval_block_with(&blocks, scratch)
             .map_err(|e| FrameError::Internal {
                 detail: format!("tape rejected the batch: {e}"),
             })?;
+        if let Some(stats) = stats {
+            stats.eval.record(nanos_u64(eval_start.elapsed()));
+        }
         requests
             .iter()
             .enumerate()
@@ -567,10 +764,37 @@ pub struct Job {
     pub id: String,
     /// The keys to sort.
     pub keys: Vec<ValidString>,
-    /// Arrival time (linger and timeout are measured from it).
+    /// Arrival time (linger, timeout, queue wait and end-to-end latency
+    /// are all measured from it).
     pub enqueued: Instant,
     /// Where the formatted response line goes.
-    pub reply: Sender<(u64, String)>,
+    pub reply: Sender<(u64, Reply)>,
+}
+
+/// One formatted response line on its way to the re-sequencing writer,
+/// carrying the timing context the writer needs to close out the
+/// request's `write` and `e2e` stages.
+#[derive(Debug)]
+pub struct Reply {
+    /// The formatted response line (without trailing newline).
+    pub line: String,
+    /// When the request entered the queue — `None` for lines that never
+    /// went through it (parse rejections, control-frame acks), which
+    /// therefore have no end-to-end latency to record.
+    pub enqueued: Option<Instant>,
+    /// When the line was handed to the writer channel.
+    pub sent: Instant,
+}
+
+impl Reply {
+    /// A reply stamped "sent now".
+    pub fn new(line: String, enqueued: Option<Instant>) -> Reply {
+        Reply {
+            line,
+            enqueued,
+            sent: Instant::now(),
+        }
+    }
 }
 
 struct QueueState {
@@ -633,7 +857,7 @@ impl CoalescerQueue {
                 depth: self.depth,
                 // One linger window is how long a full queue needs to turn
                 // into at least one dispatched plane.
-                retry_ms: (self.max_linger.as_millis() as u64).max(1),
+                retry_ms: millis_u64(self.max_linger).max(1),
             };
             return Err((job, e));
         }
@@ -712,8 +936,9 @@ impl CoalescerQueue {
 // The serving pipeline.
 // ---------------------------------------------------------------------------
 
-/// End-of-serve accounting, printed by the bin on exit.
-#[derive(Copy, Clone, Default, Debug)]
+/// End-of-serve accounting, printed by the bin on exit. Also the payload
+/// of a mid-serve [`ServerStats::snapshot`], answering `stats` frames.
+#[derive(Clone, Default, Debug)]
 pub struct ServeReport {
     /// Frames that parsed as sort requests and were served `ok`.
     pub served: u64,
@@ -723,6 +948,8 @@ pub struct ServeReport {
     pub batches: u64,
     /// Worker threads used.
     pub workers: usize,
+    /// Per-stage latency histograms (nanoseconds).
+    pub stages: StageSnapshot,
 }
 
 fn resolve_workers(requested: usize) -> usize {
@@ -734,16 +961,25 @@ fn resolve_workers(requested: usize) -> usize {
 }
 
 /// The worker loop: drain plane batches, sort, route responses. Shared by
-/// both serving modes.
-fn worker_loop(
-    engine: &SortEngine,
-    queue: &CoalescerQueue,
-    batches: &AtomicU64,
-    rejected: &AtomicU64,
-) {
+/// both serving modes. All timing here is observational: the responses
+/// are byte-identical whether or not anyone ever reads the histograms.
+fn worker_loop(engine: &SortEngine, queue: &CoalescerQueue, stats: &ServerStats) {
     let mut scratch = engine.scratch();
     while let Some(batch) = queue.next_batch() {
-        batches.fetch_add(1, Ordering::Relaxed);
+        let popped = Instant::now();
+        stats.add_batch();
+        // Coalesce latency: how long this plane spent filling, measured
+        // from its oldest member. Queue wait is per job.
+        if let Some(oldest) = batch.iter().map(|job| job.enqueued).min() {
+            stats
+                .coalesce
+                .record(nanos_u64(popped.duration_since(oldest)));
+        }
+        for job in &batch {
+            stats
+                .queue
+                .record(nanos_u64(popped.duration_since(job.enqueued)));
+        }
         // Expire requests that waited past their deadline before burning
         // plane lanes on them.
         let (live, expired): (Vec<Job>, Vec<Job>) =
@@ -751,11 +987,14 @@ fn worker_loop(
                 engine.cfg.request_timeout.is_none_or(|t| job.enqueued.elapsed() <= t)
             });
         for job in expired {
-            rejected.fetch_add(1, Ordering::Relaxed);
+            stats.add_rejected();
             let e = FrameError::Timeout {
-                waited_ms: job.enqueued.elapsed().as_millis() as u64,
+                waited_ms: millis_u64(job.enqueued.elapsed()),
             };
-            let _ = job.reply.send((job.seq, format_err(&job.id, &e)));
+            let _ = job.reply.send((
+                job.seq,
+                Reply::new(format_err(&job.id, &e), Some(job.enqueued)),
+            ));
         }
         if live.is_empty() {
             continue;
@@ -767,44 +1006,81 @@ fn worker_loop(
                 keys: job.keys.clone(),
             })
             .collect();
-        match engine.sort_batch(&requests, &mut scratch) {
+        match engine.sort_batch_recording(&requests, &mut scratch, Some(stats)) {
             Ok(sorted) => {
                 for (job, keys) in live.iter().zip(&sorted) {
-                    let _ = job
-                        .reply
-                        .send((job.seq, format_ok(&job.id, keys)));
+                    let _ = job.reply.send((
+                        job.seq,
+                        Reply::new(format_ok(&job.id, keys), Some(job.enqueued)),
+                    ));
                 }
             }
             Err(e) => {
                 // Typed, never panicking: every request of the failed
                 // batch gets the internal error response.
                 for job in &live {
-                    rejected.fetch_add(1, Ordering::Relaxed);
-                    let _ =
-                        job.reply.send((job.seq, format_err(&job.id, &e)));
+                    stats.add_rejected();
+                    let _ = job.reply.send((
+                        job.seq,
+                        Reply::new(format_err(&job.id, &e), Some(job.enqueued)),
+                    ));
                 }
             }
         }
     }
 }
 
+/// A reply in the writer's re-sequencing heap, ordered by sequence number
+/// alone (the payload carries timing stamps that must not affect order).
+struct PendingReply {
+    seq: u64,
+    reply: Reply,
+}
+
+impl PartialEq for PendingReply {
+    fn eq(&self, other: &PendingReply) -> bool {
+        self.seq == other.seq
+    }
+}
+
+impl Eq for PendingReply {}
+
+impl PartialOrd for PendingReply {
+    fn partial_cmp(&self, other: &PendingReply) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for PendingReply {
+    fn cmp(&self, other: &PendingReply) -> std::cmp::Ordering {
+        self.seq.cmp(&other.seq)
+    }
+}
+
 /// Re-sequencing response writer: responses arrive keyed by the reader's
 /// per-connection sequence number and are written in exactly that order,
-/// making output bytes independent of worker scheduling.
+/// making output bytes independent of worker scheduling. Closes out the
+/// `write` stage (writer-channel latency) and, for lines that went through
+/// the queue, the `e2e` stage (submit → written).
 fn writer_loop<W: Write>(
-    rx: std::sync::mpsc::Receiver<(u64, String)>,
+    rx: std::sync::mpsc::Receiver<(u64, Reply)>,
     mut out: W,
+    stats: &ServerStats,
 ) -> std::io::Result<()> {
     // Min-heap on seq via Reverse.
-    let mut pending: BinaryHeap<std::cmp::Reverse<(u64, String)>> =
+    let mut pending: BinaryHeap<std::cmp::Reverse<PendingReply>> =
         BinaryHeap::new();
     let mut next = 0u64;
-    for (seq, line) in rx {
-        pending.push(std::cmp::Reverse((seq, line)));
-        while pending.peek().is_some_and(|r| r.0 .0 == next) {
-            let std::cmp::Reverse((_, line)) =
+    for (seq, reply) in rx {
+        pending.push(std::cmp::Reverse(PendingReply { seq, reply }));
+        while pending.peek().is_some_and(|r| r.0.seq == next) {
+            let std::cmp::Reverse(PendingReply { reply, .. }) =
                 pending.pop().expect("peeked");
-            writeln!(out, "{line}")?;
+            writeln!(out, "{}", reply.line)?;
+            stats.write.record(nanos_u64(reply.sent.elapsed()));
+            if let Some(enqueued) = reply.enqueued {
+                stats.e2e.record(nanos_u64(enqueued.elapsed()));
+            }
             next += 1;
         }
     }
@@ -814,30 +1090,31 @@ fn writer_loop<W: Write>(
 
 /// Serves one line stream (stdin mode, or one accepted socket): parse
 /// frames, submit jobs, and deliver re-sequenced responses to `output`.
+/// Served/rejected counts go straight into `stats`, which also answers
+/// any `stats` frame on the stream with a mid-serve snapshot line.
 /// `after_input` runs once the input is exhausted (EOF, shutdown frame, or
 /// a torn read), *before* the writer is waited on — stdin mode closes the
 /// queue there so a pending partial plane drains immediately instead of
-/// waiting out its linger. Returns `(served, rejected, saw_shutdown)`.
+/// waiting out its linger. Returns whether a shutdown frame was seen.
 fn pump_connection<R: BufRead, W: Write + Send>(
     engine: &SortEngine,
     queue: &CoalescerQueue,
+    stats: &ServerStats,
     input: R,
     output: W,
     blocking_submit: bool,
     after_input: impl FnOnce(),
-) -> Result<(u64, u64, bool), ServerError> {
-    let (tx, rx) = channel::<(u64, String)>();
-    let mut served = 0u64;
-    let mut rejected = 0u64;
+) -> Result<bool, ServerError> {
+    let (tx, rx) = channel::<(u64, Reply)>();
     let mut shutdown = false;
     let mut read_err: Option<std::io::Error> = None;
     let write_result = std::thread::scope(|s| {
-        let writer = s.spawn(move || writer_loop(rx, output));
+        let writer = s.spawn(move || writer_loop(rx, output, stats));
         let mut seq = 0u64;
-        let mut reject =
-            |seq: u64, id: &str, e: &FrameError, tx: &Sender<(u64, String)>| {
-                rejected += 1;
-                let _ = tx.send((seq, format_err(id, e)));
+        let reject =
+            |seq: u64, id: &str, e: &FrameError, tx: &Sender<(u64, Reply)>| {
+                stats.add_rejected();
+                let _ = tx.send((seq, Reply::new(format_err(id, e), None)));
             };
         for line in input.lines() {
             let line = match line {
@@ -852,9 +1129,20 @@ fn pump_connection<R: BufRead, W: Write + Send>(
             match parse_frame(&line, &engine.cfg) {
                 Ok(None) => {}
                 Ok(Some(Frame::Shutdown { id })) => {
-                    let _ = tx.send((seq, format!("ok {id} draining")));
+                    let _ = tx.send((
+                        seq,
+                        Reply::new(format!("ok {id} draining"), None),
+                    ));
                     shutdown = true;
                     break;
+                }
+                Ok(Some(Frame::Stats { id })) => {
+                    // A racy-but-consistent mid-serve snapshot; the line
+                    // holds its place in the response order like any
+                    // other frame.
+                    let line = format_stats_line(&id, &stats.snapshot());
+                    let _ = tx.send((seq, Reply::new(line, None)));
+                    seq += 1;
                 }
                 Ok(Some(Frame::Sort(req))) => {
                     let job = Job {
@@ -870,7 +1158,7 @@ fn pump_connection<R: BufRead, W: Write + Send>(
                         queue.try_submit(job)
                     };
                     match submitted {
-                        Ok(()) => served += 1,
+                        Ok(()) => stats.add_served(),
                         Err((job, e)) => reject(seq, &job.id, &e, &tx),
                     }
                     seq += 1;
@@ -889,7 +1177,7 @@ fn pump_connection<R: BufRead, W: Write + Send>(
     if let Some(e) = read_err {
         return Err(ServerError::Io(e));
     }
-    Ok((served, rejected, shutdown))
+    Ok(shutdown)
 }
 
 /// Stdin mode: reads frames from `input` until EOF (or a `shutdown`
@@ -912,26 +1200,19 @@ pub fn serve_lines<R: BufRead, W: Write + Send>(
         engine.cfg.max_batch,
         engine.cfg.max_linger,
     );
-    let batches = AtomicU64::new(0);
-    let rejected = AtomicU64::new(0);
-    let (served, line_rejected) = std::thread::scope(|s| {
+    let stats = ServerStats::new(workers);
+    std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|| worker_loop(engine, &queue, &batches, &rejected));
+            s.spawn(|| worker_loop(engine, &queue, &stats));
         }
         // EOF (or shutdown frame): drain-then-exit. The queue closes as
         // soon as input ends, so workers finish every queued plane (no
         // linger wait) before the scope joins them.
-        let pumped = pump_connection(engine, &queue, input, output, true, || {
+        pump_connection(engine, &queue, &stats, input, output, true, || {
             queue.close();
-        });
-        pumped.map(|(served, rejected, _)| (served, rejected))
+        })
     })?;
-    Ok(ServeReport {
-        served,
-        rejected: line_rejected + rejected.load(Ordering::Relaxed),
-        batches: batches.load(Ordering::Relaxed),
-        workers,
-    })
+    Ok(stats.snapshot())
 }
 
 /// TCP mode: accepts localhost connections on `listener`, coalescing *all*
@@ -955,14 +1236,12 @@ pub fn serve_tcp(
         engine.cfg.max_batch,
         engine.cfg.max_linger,
     );
-    let batches = AtomicU64::new(0);
-    let rejected = AtomicU64::new(0);
-    let served = AtomicU64::new(0);
+    let stats = ServerStats::new(workers);
     let stop = AtomicBool::new(false);
     let local = listener.local_addr()?;
     std::thread::scope(|s| -> Result<(), ServerError> {
         for _ in 0..workers {
-            s.spawn(|| worker_loop(engine, &queue, &batches, &rejected));
+            s.spawn(|| worker_loop(engine, &queue, &stats));
         }
         loop {
             let (stream, _) = listener.accept()?;
@@ -971,23 +1250,21 @@ pub fn serve_tcp(
             }
             let queue = &queue;
             let stop = &stop;
-            let served = &served;
-            let rejected = &rejected;
+            let stats = &stats;
             s.spawn(move || {
                 let reader = match stream.try_clone() {
                     Ok(r) => BufReader::new(r),
                     Err(_) => return,
                 };
-                if let Ok((ok, bad, saw_shutdown)) = pump_connection(
+                if let Ok(saw_shutdown) = pump_connection(
                     engine,
                     queue,
+                    stats,
                     reader,
                     stream,
                     false,
                     || {},
                 ) {
-                    served.fetch_add(ok, Ordering::Relaxed);
-                    rejected.fetch_add(bad, Ordering::Relaxed);
                     if saw_shutdown && !stop.swap(true, Ordering::SeqCst) {
                         // Wake the accept loop so it can exit; the
                         // connection is discarded immediately.
@@ -1000,12 +1277,7 @@ pub fn serve_tcp(
         queue.close();
         Ok(())
     })?;
-    Ok(ServeReport {
-        served: served.load(Ordering::Relaxed),
-        rejected: rejected.load(Ordering::Relaxed),
-        batches: batches.load(Ordering::Relaxed),
-        workers,
-    })
+    Ok(stats.snapshot())
 }
 
 #[cfg(test)]
@@ -1040,6 +1312,14 @@ mod tests {
         assert_eq!(
             parse_frame("shutdown", &cfg).unwrap(),
             Some(Frame::Shutdown { id: "-".into() })
+        );
+        assert_eq!(
+            parse_frame("stats q7", &cfg).unwrap(),
+            Some(Frame::Stats { id: "q7".into() })
+        );
+        assert_eq!(
+            parse_frame("stats", &cfg).unwrap(),
+            Some(Frame::Stats { id: "-".into() })
         );
     }
 
@@ -1137,6 +1417,45 @@ mod tests {
             .collect();
         assert_eq!(strs[0], vec!["00", "11"]);
         assert_eq!(strs[1], vec!["0M"]);
+    }
+
+    #[test]
+    fn stats_line_and_json_carry_every_stage() {
+        let stats = ServerStats::new(3);
+        stats.add_served();
+        stats.add_served();
+        stats.add_rejected();
+        stats.add_batch();
+        stats.queue.record(1_500);
+        stats.eval.record(2_000_000);
+        let report = stats.snapshot();
+        assert_eq!(report.served, 2);
+        assert_eq!(report.rejected, 1);
+        assert_eq!(report.batches, 1);
+        assert_eq!(report.workers, 3);
+        assert_eq!(report.stages.queue.count(), 1);
+        assert_eq!(report.stages.eval.max(), 2_000_000);
+
+        let line = format_stats_line("q1", &report);
+        assert!(line.starts_with("stats q1 schema=mcs-serverstats-v1 "), "{line}");
+        assert!(line.contains("served=2 rejected=1 batches=1 workers=3"), "{line}");
+        for stage in ["queue", "coalesce", "pack", "eval", "write", "e2e"] {
+            assert!(line.contains(&format!(" {stage}_us=")), "{line}");
+        }
+
+        let json = stats_json(&report);
+        assert!(json.contains("\"schema\": \"mcs-serverstats-v1\""), "{json}");
+        for key in
+            ["\"served\": 2", "\"stages\"", "\"p50_us\"", "\"p999_us\"", "\"mean_us\""]
+        {
+            assert!(json.contains(key), "{json}");
+        }
+        // Balanced braces — the hand-rolled emitter must stay valid JSON.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
     }
 
     #[test]

@@ -40,6 +40,7 @@ use mcs_networks::optimal::best_size;
 use mcs_networks::verify::zero_one_verify;
 use mcs_networks::Network;
 
+use crate::metrics::{nanos_u64, LatencyHistogram};
 use crate::verify::{zero_one_circuit_check, CircuitVerifyError, MAX_CHECK_CHANNELS};
 
 /// Schema tag of the JSON emitted by [`report_json`]. Bump on any
@@ -240,6 +241,10 @@ pub struct CellReport {
     pub checksum: u64,
     /// Lanes covered by the pre-flight differential sample.
     pub differential_lanes: usize,
+    /// Per-chunk tape-eval wall-clock latency (nanoseconds), merged
+    /// across workers. Observational only — recording it does not change
+    /// the streamed bytes or the checksum.
+    pub eval_latency: LatencyHistogram,
 }
 
 impl CellReport {
@@ -298,10 +303,13 @@ pub fn run_cell(cfg: &ThroughputConfig) -> Result<CellReport, ThroughputError> {
 
     let start = Instant::now();
     let mut sums = vec![0u64; chunks];
+    let mut eval_latency = LatencyHistogram::new();
     if workers <= 1 {
         let mut scratch = tape.scratch(cfg.plane_width);
         for (chunk, sum) in sums.iter_mut().enumerate() {
+            let t0 = Instant::now();
             *sum = eval_chunk(cfg, &tape, &mut scratch, chunk);
+            eval_latency.record(nanos_u64(t0.elapsed()));
         }
     } else {
         let tape = &tape;
@@ -311,26 +319,32 @@ pub fn run_cell(cfg: &ThroughputConfig) -> Result<CellReport, ThroughputError> {
                     s.spawn(move || {
                         let mut scratch = tape.scratch(cfg.plane_width);
                         let mut local = Vec::new();
+                        // Allocation-free per-worker recording; merged
+                        // after join so the hot loop takes no locks.
+                        let mut latency = LatencyHistogram::new();
                         let mut chunk = w;
                         // Round-robin sharding: worker w owns chunks
                         // w, w+workers, … — a pure function of the worker
                         // index, never of timing.
                         while chunk < chunks {
-                            local.push((
-                                chunk,
-                                eval_chunk(cfg, tape, &mut scratch, chunk),
-                            ));
+                            let t0 = Instant::now();
+                            let sum =
+                                eval_chunk(cfg, tape, &mut scratch, chunk);
+                            latency.record(nanos_u64(t0.elapsed()));
+                            local.push((chunk, sum));
                             chunk += workers;
                         }
-                        local
+                        (local, latency)
                     })
                 })
                 .collect();
             for h in handles {
                 // Index-keyed merge: arrival order cannot influence sums.
-                for (chunk, sum) in h.join().expect("worker panicked") {
+                let (local, latency) = h.join().expect("worker panicked");
+                for (chunk, sum) in local {
                     sums[chunk] = sum;
                 }
+                eval_latency.merge(&latency);
             }
         });
     }
@@ -353,6 +367,7 @@ pub fn run_cell(cfg: &ThroughputConfig) -> Result<CellReport, ThroughputError> {
         elapsed,
         checksum,
         differential_lanes,
+        eval_latency,
     })
 }
 
@@ -603,8 +618,35 @@ pub fn report_json(seed: u64, chunk_lanes: usize, cells: &[CellReport]) -> Strin
             c.checksum
         ));
         out.push_str(&format!(
-            "      \"differential_lanes\": {}\n",
+            "      \"differential_lanes\": {},\n",
             c.differential_lanes
+        ));
+        // Per-chunk tape-eval latency quantiles (additive fields — the
+        // schema tag stays v1).
+        let us = |ns: u64| ns / 1_000;
+        out.push_str(&format!(
+            "      \"eval_chunks\": {},\n",
+            c.eval_latency.count()
+        ));
+        out.push_str(&format!(
+            "      \"eval_p50_us\": {},\n",
+            us(c.eval_latency.quantile(0.50))
+        ));
+        out.push_str(&format!(
+            "      \"eval_p90_us\": {},\n",
+            us(c.eval_latency.quantile(0.90))
+        ));
+        out.push_str(&format!(
+            "      \"eval_p99_us\": {},\n",
+            us(c.eval_latency.quantile(0.99))
+        ));
+        out.push_str(&format!(
+            "      \"eval_p999_us\": {},\n",
+            us(c.eval_latency.quantile(0.999))
+        ));
+        out.push_str(&format!(
+            "      \"eval_max_us\": {}\n",
+            us(c.eval_latency.max())
         ));
         out.push_str(if i + 1 == cells.len() { "    }\n" } else { "    },\n" });
     }
@@ -736,11 +778,37 @@ mod tests {
             "\"vectors_per_s\"",
             "\"checksum\": \"0x",
             "\"differential_lanes\": 64",
+            "\"eval_chunks\": 1",
+            "\"eval_p50_us\"",
+            "\"eval_p90_us\"",
+            "\"eval_p99_us\"",
+            "\"eval_p999_us\"",
+            "\"eval_max_us\"",
         ] {
             assert!(json.contains(field), "missing {field} in:\n{json}");
         }
         // Exactly one cell object.
         assert_eq!(json.matches("\"channels\"").count(), 1);
+    }
+
+    #[test]
+    fn eval_latency_covers_every_chunk() {
+        for workers in [1usize, 3] {
+            let mut cfg = small_cfg();
+            cfg.workers = workers;
+            let r = run_cell(&cfg).unwrap();
+            let chunks =
+                chunk_count(cfg.vectors, cfg.chunk_lanes).unwrap() as u64;
+            assert_eq!(r.eval_latency.count(), chunks, "workers={workers}");
+            assert!(r.eval_latency.max() > 0, "workers={workers}");
+            // The recorded eval time can't exceed the timed loop's wall
+            // clock by more than bucketing slack (quantiles round up to
+            // their bucket's upper bound, < 2× the true value).
+            assert!(
+                r.eval_latency.quantile(0.5) < 2 * nanos_u64(r.elapsed).max(1),
+                "workers={workers}"
+            );
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@ use std::time::{Duration, Instant};
 
 use mcs_bench::server::{
     format_err, serve_lines, serve_tcp, CoalescerQueue, FrameError, Job,
-    Request, ServeReport, ServerConfig, SortEngine,
+    Reply, Request, ServeReport, ServerConfig, SortEngine, STATS_SCHEMA,
 };
 use mcs_gray::ValidString;
 use mcs_logic::PlaneWidth;
@@ -166,7 +166,7 @@ fn zero_timeout_expires_every_request() {
 // Coalescing semantics, pinned on the queue directly (no timing races).
 // ---------------------------------------------------------------------------
 
-fn test_job(seq: u64, reply: &std::sync::mpsc::Sender<(u64, String)>) -> Job {
+fn test_job(seq: u64, reply: &std::sync::mpsc::Sender<(u64, Reply)>) -> Job {
     Job {
         seq,
         id: format!("r{seq}"),
@@ -341,6 +341,76 @@ fn coalesced_serving_matches_serial_sort_batch() {
             want.push_str(&k.to_string());
         }
         assert_eq!(response, want);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Observability: the `stats` frame and the per-stage histograms.
+// ---------------------------------------------------------------------------
+
+/// A `stats` frame on a 10k-request run answers with a schema-tagged
+/// snapshot line carrying every stage, without perturbing a single sorted
+/// byte — across 1/2/4/8 workers. The final report's histograms cover the
+/// whole population, show nonzero eval time, and obey the pointwise
+/// queue-wait ≤ end-to-end dominance at every wire quantile.
+#[test]
+fn stats_frame_reports_stage_latencies_without_breaking_determinism() {
+    let file = mixed_request_file(10_000, 0xBD5_2018);
+    let want = reference_output(&file);
+    for workers in [1usize, 2, 4, 8] {
+        let mut cfg = ServerConfig::new(4, 2);
+        cfg.workers = workers;
+        let engine = engine(cfg);
+        let mut input = file.clone();
+        input.push_str("stats s1\n");
+        let (out, report) = run_lines(&engine, &input);
+
+        // The stats response is the last line (request order) and carries
+        // the schema tag, the counters and every stage key.
+        let mut lines: Vec<&str> = out.lines().collect();
+        let stats_line = lines.pop().expect("stats response line");
+        assert!(
+            stats_line.starts_with(&format!("stats s1 schema={STATS_SCHEMA} ")),
+            "workers={workers}: {stats_line}"
+        );
+        for key in [
+            " served=", " rejected=", " batches=", " workers=", " queue_us=",
+            " coalesce_us=", " pack_us=", " eval_us=", " write_us=",
+            " e2e_us=",
+        ] {
+            assert!(
+                stats_line.contains(key),
+                "workers={workers}: missing {key} in {stats_line}"
+            );
+        }
+
+        // Everything else is byte-identical to the reference: timing is
+        // observational only.
+        let mut sorted = lines.join("\n");
+        sorted.push('\n');
+        assert_eq!(sorted, want, "output diverged at workers={workers}");
+
+        // The final report sees the complete population (the mid-serve
+        // stats line is racy by design; the report is not).
+        assert_eq!(report.served, 10_000);
+        assert_eq!(report.rejected, 0);
+        let st = &report.stages;
+        assert_eq!(st.queue.count(), 10_000, "workers={workers}");
+        assert_eq!(st.e2e.count(), 10_000, "workers={workers}");
+        // Every written line closes a write-stage sample: 10k oks + stats.
+        assert_eq!(st.write.count(), 10_001, "workers={workers}");
+        assert!(st.eval.max() > 0, "workers={workers}: zero eval time");
+        assert!(st.pack.count() > 0 && st.coalesce.count() > 0);
+        // Queue wait is a prefix of the end-to-end path of the same
+        // population, so its quantiles can never exceed e2e's.
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            assert!(
+                st.queue.quantile(q) <= st.e2e.quantile(q),
+                "workers={workers} q={q}: queue {} > e2e {}",
+                st.queue.quantile(q),
+                st.e2e.quantile(q)
+            );
+        }
     }
 }
 

@@ -64,7 +64,12 @@ fn report(artifact: &NetworkArtifact, save: Option<&str>) -> ExitCode {
     let text = artifact.to_text();
     print!("{text}");
     if let Some(path) = save {
-        let result = if path.ends_with(".mcsnb") {
+        // Case-insensitive, like the bench artifact layer: FOO.MCSNB is
+        // binary too, not silently text.
+        let binary = std::path::Path::new(path)
+            .extension()
+            .is_some_and(|e| e.eq_ignore_ascii_case("mcsnb"));
+        let result = if binary {
             std::fs::write(path, artifact.to_bytes())
         } else {
             std::fs::write(path, text.as_bytes())
@@ -276,10 +281,17 @@ fn main() -> ExitCode {
     let best_published: Mutex<Option<Network>> = Mutex::new(None);
     let found = parallel_search_with_progress(&config, |size, net| {
         eprintln!("new best: {size} comparators, depth {}", net.depth());
-        *best_published.lock().unwrap() = Some(net.clone());
+        // A panicked progress callback elsewhere poisons the mutex but
+        // cannot corrupt the Option inside — recover the value rather
+        // than cascading the panic.
+        *best_published
+            .lock()
+            .unwrap_or_else(|p| p.into_inner()) = Some(net.clone());
     });
     let found = found.map(|answer| {
-        let published = best_published.into_inner().unwrap();
+        let published = best_published
+            .into_inner()
+            .unwrap_or_else(|p| p.into_inner());
         match (answer, published) {
             (Some(a), Some(p)) => Some(if p.size() < a.size() { p } else { a }),
             (a, p) => a.or(p),
@@ -288,12 +300,24 @@ fn main() -> ExitCode {
 
     match found {
         Ok(Some(net)) => {
-            assert!(net.depth() <= max_depth);
+            if net.depth() > max_depth {
+                // A search-driver invariant violation, reported like any
+                // other bad artifact — never a panic.
+                eprintln!(
+                    "search returned a depth-{} network over the depth \
+                     budget {max_depth}; refusing to report it",
+                    net.depth()
+                );
+                return ExitCode::from(4);
+            }
             let mut artifact = NetworkArtifact::new(net, seed);
             // Warm-started results carry their lineage in the header.
             artifact.provenance = provenance;
             // The same re-verification gate the cache loader applies.
-            artifact.reverify().expect("searched network must sort");
+            if let Err(e) = artifact.reverify() {
+                eprintln!("searched network failed re-verification: {e}");
+                return ExitCode::from(4);
+            }
             report(&artifact, save.as_deref())
         }
         Ok(None) => {
