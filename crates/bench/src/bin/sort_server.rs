@@ -20,9 +20,14 @@
 //! serving. `--listen 127.0.0.1:0` switches to TCP mode and prints the
 //! bound address as `listening <addr>` on stderr.
 //!
+//! The plane kernel (scalar or SIMD) follows the widest backend this CPU
+//! supports; set `MCS_KERNEL=scalar|avx2|neon` to force one. Unknown names
+//! and backends the CPU cannot run are refused before any worker starts.
+//!
 //! The frame protocol, coalescing and backpressure semantics are
 //! documented in [`mcs_bench::server`]; stdin-mode output is byte-identical
-//! across worker counts and plane widths. Timing is observational only:
+//! across worker counts, plane widths and kernels. Timing is observational
+//! only:
 //! `stats` response lines and the `--stats-json PATH` dump (the versioned
 //! `mcs-serverstats-v1` document, written on exit) carry per-stage latency
 //! quantiles without perturbing any sorted output byte.
@@ -37,11 +42,13 @@ use mcs_bench::artifact::{load_netlist, ArtifactError};
 use mcs_bench::server::{
     serve_lines, serve_tcp, stats_json, ServerConfig, ServerError, SortEngine,
 };
+use mcs_logic::plane::kernel::{self, UnknownKernel};
 use mcs_logic::PlaneWidth;
 
 #[derive(Debug)]
 enum CliError {
     Usage(String),
+    Kernel(UnknownKernel),
     Artifact(ArtifactError),
     Server(ServerError),
     Io(std::io::Error),
@@ -51,10 +58,17 @@ impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Kernel(e) => write!(f, "{e}"),
             CliError::Artifact(e) => write!(f, "loading circuit: {e}"),
             CliError::Server(e) => write!(f, "{e}"),
             CliError::Io(e) => write!(f, "i/o error: {e}"),
         }
+    }
+}
+
+impl From<UnknownKernel> for CliError {
+    fn from(e: UnknownKernel) -> CliError {
+        CliError::Kernel(e)
     }
 }
 
@@ -78,6 +92,9 @@ impl From<std::io::Error> for CliError {
 
 fn run() -> Result<(), CliError> {
     let mut cfg = ServerConfig::new(4, 2);
+    if let Some(k) = kernel::from_env()? {
+        cfg.kernel = k;
+    }
     let mut circuit: Option<PathBuf> = None;
     let mut listen: Option<String> = None;
     let mut stats_path: Option<PathBuf> = None;

@@ -6,12 +6,18 @@
 //!
 //! ```text
 //! throughput [--vectors N] [--workers W] [--planes 1|4|8] [--seed S]
-//!            [--chunk-lanes L] [--cells nxB[,nxB...]] [--json PATH]
+//!            [--kernels scalar,avx2,neon] [--chunk-lanes L]
+//!            [--cells nxB[,nxB...]] [--json PATH]
 //! ```
 //!
 //! Defaults: the full paper-adjacent grid n ∈ {4, 8, 16} × B ∈ {2, 4, 8, 16},
 //! 1 M vectors per cell, one worker per core, 4-wide planes, results written
 //! to `BENCH_throughput.json`.
+//!
+//! `--kernels` runs every cell once per listed backend (side-by-side rows in
+//! the table and the JSON); without it the `MCS_KERNEL` environment override
+//! applies, falling back to the widest backend this CPU supports. Unknown
+//! names and backends the CPU cannot run are refused with a typed error.
 //!
 //! Every cell pre-flights a differential sample — the tape must match
 //! `Netlist::eval_block` lane-for-lane at every plane width and every
@@ -29,11 +35,13 @@ use std::process::ExitCode;
 use mcs_bench::throughput::{
     report_json, run_cell, CellReport, ThroughputConfig, ThroughputError,
 };
+use mcs_logic::plane::kernel::{self, KernelId, UnknownKernel};
 use mcs_logic::PlaneWidth;
 
 #[derive(Debug)]
 enum CliError {
     Usage(String),
+    Kernel(UnknownKernel),
     Cell(ThroughputError),
     Io(PathBuf, std::io::Error),
 }
@@ -42,6 +50,7 @@ impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Kernel(e) => write!(f, "{e}"),
             CliError::Cell(e) => write!(f, "{e}"),
             CliError::Io(path, e) => {
                 write!(f, "writing {}: {e}", path.display())
@@ -53,6 +62,12 @@ impl fmt::Display for CliError {
 impl From<ThroughputError> for CliError {
     fn from(e: ThroughputError) -> CliError {
         CliError::Cell(e)
+    }
+}
+
+impl From<UnknownKernel> for CliError {
+    fn from(e: UnknownKernel) -> CliError {
+        CliError::Kernel(e)
     }
 }
 
@@ -77,6 +92,7 @@ fn run() -> Result<(), CliError> {
     let mut seed: Option<u64> = None;
     let mut chunk_lanes = 8192usize;
     let mut cells: Vec<(usize, usize)> = Vec::new();
+    let mut kernels: Vec<KernelId> = Vec::new();
     let mut json: PathBuf = PathBuf::from("BENCH_throughput.json");
 
     let mut args = std::env::args().skip(1);
@@ -118,6 +134,11 @@ fn run() -> Result<(), CliError> {
                     cells.push(parse_cell(spec)?);
                 }
             }
+            "--kernels" => {
+                for name in value("--kernels")?.split(',') {
+                    kernels.push(kernel::require(name.parse()?)?);
+                }
+            }
             "--json" => json = PathBuf::from(value("--json")?),
             other => {
                 return Err(CliError::Usage(format!(
@@ -131,6 +152,10 @@ fn run() -> Result<(), CliError> {
             .into_iter()
             .flat_map(|n| [2usize, 4, 8, 16].into_iter().map(move |b| (n, b)))
             .collect();
+    }
+    if kernels.is_empty() {
+        // MCS_KERNEL forces one backend; unset means the widest available.
+        kernels.push(kernel::from_env()?.unwrap_or_else(kernel::preferred));
     }
 
     let mut template = ThroughputConfig::new(0, 0);
@@ -147,36 +172,41 @@ fn run() -> Result<(), CliError> {
         vectors, planes
     );
     println!(
-        "{:>4} {:>4}  {:>5} {:>7} {:>6}  {:>3}  {:>10}  {:>14}  {:>16}  {:>18}",
-        "n", "B", "CEs", "gates", "depth", "thr", "elapsed[s]",
+        "{:>4} {:>4}  {:>5} {:>7} {:>6}  {:>3} {:>7}  {:>10}  {:>14}  {:>16}  {:>18}",
+        "n", "B", "CEs", "gates", "depth", "thr", "kernel", "elapsed[s]",
         "vectors/s", "eval p50/p99[µs]", "checksum"
     );
     let mut reports: Vec<CellReport> = Vec::new();
     for (channels, width) in cells {
-        let cfg = ThroughputConfig {
-            channels,
-            width,
-            ..template
-        };
-        let r = run_cell(&cfg)?;
-        println!(
-            "{:>4} {:>4}  {:>5} {:>7} {:>6}  {:>3}  {:>10.3}  {:>14.0}  {:>16}  0x{:016x}",
-            r.channels,
-            r.width,
-            r.comparators,
-            r.gates,
-            r.depth,
-            r.workers,
-            r.elapsed.as_secs_f64(),
-            r.vectors_per_s(),
-            format!(
-                "{}/{}",
-                r.eval_latency.quantile(0.50) / 1_000,
-                r.eval_latency.quantile(0.99) / 1_000
-            ),
-            r.checksum,
-        );
-        reports.push(r);
+        // Side-by-side backend rows per cell: same stream, same checksum.
+        for &k in &kernels {
+            let cfg = ThroughputConfig {
+                channels,
+                width,
+                kernel: k,
+                ..template
+            };
+            let r = run_cell(&cfg)?;
+            println!(
+                "{:>4} {:>4}  {:>5} {:>7} {:>6}  {:>3} {:>7}  {:>10.3}  {:>14.0}  {:>16}  0x{:016x}",
+                r.channels,
+                r.width,
+                r.comparators,
+                r.gates,
+                r.depth,
+                r.workers,
+                r.kernel.name(),
+                r.elapsed.as_secs_f64(),
+                r.vectors_per_s(),
+                format!(
+                    "{}/{}",
+                    r.eval_latency.quantile(0.50) / 1_000,
+                    r.eval_latency.quantile(0.99) / 1_000
+                ),
+                r.checksum,
+            );
+            reports.push(r);
+        }
     }
 
     let doc = report_json(template.seed, chunk_lanes, &reports);

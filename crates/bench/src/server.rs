@@ -89,6 +89,7 @@ use crate::metrics::{
 };
 
 use mcs_gray::ValidString;
+use mcs_logic::plane::kernel::{self, KernelId, UnknownKernel};
 use mcs_logic::{PlaneWidth, Trit, TritBlock, TritVec};
 use mcs_netlist::{EvalTape, Netlist, TapeScratch};
 use mcs_networks::circuit::{build_sorting_circuit, TwoSortFlavor};
@@ -109,6 +110,10 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Plane width of each tape pass (64 lanes per plane word).
     pub plane_width: PlaneWidth,
+    /// Kernel backend of each tape pass. Must be available on this CPU
+    /// (refused at engine construction otherwise); responses are
+    /// backend-independent by the kernel conformance contract.
+    pub kernel: KernelId,
     /// Max requests coalesced into one dispatch (the plane fill target).
     pub max_batch: usize,
     /// Max time the oldest pending request may wait for its plane to fill
@@ -125,15 +130,16 @@ pub struct ServerConfig {
 }
 
 impl ServerConfig {
-    /// Defaults: auto workers, 4-wide planes, 256-lane batches (one full
-    /// 4-word plane pass), 2 ms linger, 4096-request queue, no timeout,
-    /// 64 KiB frames.
+    /// Defaults: auto workers, 4-wide planes, the widest available kernel,
+    /// 256-lane batches (one full 4-word plane pass), 2 ms linger,
+    /// 4096-request queue, no timeout, 64 KiB frames.
     pub fn new(channels: usize, width: usize) -> ServerConfig {
         ServerConfig {
             channels,
             width,
             workers: 0,
             plane_width: PlaneWidth::X4,
+            kernel: kernel::preferred(),
             max_batch: PlaneWidth::X4.lanes(),
             max_linger: Duration::from_millis(2),
             queue_depth: 4096,
@@ -156,6 +162,8 @@ pub enum ServerError {
     Network(String),
     /// The sorting circuit failed the gate-level 0-1 sweep.
     Circuit(CircuitVerifyError),
+    /// The configured kernel backend cannot run on this CPU.
+    Kernel(UnknownKernel),
     /// An I/O error on the listener, a pipe, or a socket.
     Io(std::io::Error),
 }
@@ -172,6 +180,7 @@ impl fmt::Display for ServerError {
             ServerError::Circuit(e) => {
                 write!(f, "circuit verification failed: {e}")
             }
+            ServerError::Kernel(e) => write!(f, "{e}"),
             ServerError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -182,6 +191,12 @@ impl std::error::Error for ServerError {}
 impl From<CircuitVerifyError> for ServerError {
     fn from(e: CircuitVerifyError) -> ServerError {
         ServerError::Circuit(e)
+    }
+}
+
+impl From<UnknownKernel> for ServerError {
+    fn from(e: UnknownKernel) -> ServerError {
+        ServerError::Kernel(e)
     }
 }
 
@@ -434,6 +449,7 @@ pub struct ServerStats {
     rejected: AtomicU64,
     batches: AtomicU64,
     workers: usize,
+    kernel: KernelId,
     queue: SharedHistogram,
     coalesce: SharedHistogram,
     pack: SharedHistogram,
@@ -443,13 +459,15 @@ pub struct ServerStats {
 }
 
 impl ServerStats {
-    /// Fresh counters for a serve running `workers` worker threads.
-    pub fn new(workers: usize) -> ServerStats {
+    /// Fresh counters for a serve running `workers` worker threads through
+    /// the `kernel` backend.
+    pub fn new(workers: usize, kernel: KernelId) -> ServerStats {
         ServerStats {
             served: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             workers,
+            kernel,
             queue: SharedHistogram::new(),
             coalesce: SharedHistogram::new(),
             pack: SharedHistogram::new(),
@@ -478,6 +496,7 @@ impl ServerStats {
             rejected: self.rejected.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             workers: self.workers,
+            kernel: self.kernel,
             stages: StageSnapshot {
                 queue: self.queue.snapshot(),
                 coalesce: self.coalesce.snapshot(),
@@ -511,8 +530,8 @@ fn stage_us(h: &LatencyHistogram) -> String {
 pub fn format_stats_line(id: &str, report: &ServeReport) -> String {
     let mut line = format!(
         "stats {id} schema={STATS_SCHEMA} served={} rejected={} batches={} \
-         workers={}",
-        report.served, report.rejected, report.batches, report.workers
+         workers={} kernel={}",
+        report.served, report.rejected, report.batches, report.workers, report.kernel
     );
     for (name, h) in report.stages.stages() {
         line.push_str(&format!(" {name}_us={}", stage_us(h)));
@@ -532,6 +551,9 @@ pub fn stats_json(report: &ServeReport) -> String {
     out.push_str(&format!("  \"rejected\": {},\n", report.rejected));
     out.push_str(&format!("  \"batches\": {},\n", report.batches));
     out.push_str(&format!("  \"workers\": {},\n", report.workers));
+    // Additive field (schema stays v1): the kernel backend that evaluated
+    // every batch of this serve.
+    out.push_str(&format!("  \"kernel\": \"{}\",\n", report.kernel));
     out.push_str("  \"stages\": {\n");
     let stages = report.stages.stages();
     for (i, (name, h)) in stages.iter().enumerate() {
@@ -633,9 +655,12 @@ impl SortEngine {
         &self.cfg
     }
 
-    /// Allocates one worker's (or connection's) reusable scratch.
+    /// Allocates one worker's (or connection's) reusable scratch for the
+    /// configured plane width and kernel backend.
     pub fn scratch(&self) -> TapeScratch {
-        self.tape.scratch(self.cfg.plane_width)
+        self.tape
+            .try_scratch(self.cfg.plane_width, self.cfg.kernel)
+            .expect("kernel availability is validated at engine construction")
     }
 
     /// Sorts a coalesced batch: request `i` occupies lane `i` of one shared
@@ -746,6 +771,9 @@ fn validate(cfg: &ServerConfig) -> Result<(), ServerError> {
     if cfg.max_frame_bytes == 0 {
         return bad("max_frame_bytes must be positive".into());
     }
+    // Typed refusal for backends this CPU cannot run, so worker scratch
+    // construction after this point is infallible.
+    kernel::require(cfg.kernel)?;
     Ok(())
 }
 
@@ -948,6 +976,8 @@ pub struct ServeReport {
     pub batches: u64,
     /// Worker threads used.
     pub workers: usize,
+    /// Kernel backend every batch was evaluated through.
+    pub kernel: KernelId,
     /// Per-stage latency histograms (nanoseconds).
     pub stages: StageSnapshot,
 }
@@ -1200,7 +1230,7 @@ pub fn serve_lines<R: BufRead, W: Write + Send>(
         engine.cfg.max_batch,
         engine.cfg.max_linger,
     );
-    let stats = ServerStats::new(workers);
+    let stats = ServerStats::new(workers, engine.cfg.kernel);
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| worker_loop(engine, &queue, &stats));
@@ -1236,7 +1266,7 @@ pub fn serve_tcp(
         engine.cfg.max_batch,
         engine.cfg.max_linger,
     );
-    let stats = ServerStats::new(workers);
+    let stats = ServerStats::new(workers, engine.cfg.kernel);
     let stop = AtomicBool::new(false);
     let local = listener.local_addr()?;
     std::thread::scope(|s| -> Result<(), ServerError> {
@@ -1421,7 +1451,7 @@ mod tests {
 
     #[test]
     fn stats_line_and_json_carry_every_stage() {
-        let stats = ServerStats::new(3);
+        let stats = ServerStats::new(3, KernelId::Scalar);
         stats.add_served();
         stats.add_served();
         stats.add_rejected();
@@ -1438,15 +1468,24 @@ mod tests {
 
         let line = format_stats_line("q1", &report);
         assert!(line.starts_with("stats q1 schema=mcs-serverstats-v1 "), "{line}");
-        assert!(line.contains("served=2 rejected=1 batches=1 workers=3"), "{line}");
+        assert!(
+            line.contains("served=2 rejected=1 batches=1 workers=3 kernel=scalar"),
+            "{line}"
+        );
         for stage in ["queue", "coalesce", "pack", "eval", "write", "e2e"] {
             assert!(line.contains(&format!(" {stage}_us=")), "{line}");
         }
 
         let json = stats_json(&report);
         assert!(json.contains("\"schema\": \"mcs-serverstats-v1\""), "{json}");
-        for key in
-            ["\"served\": 2", "\"stages\"", "\"p50_us\"", "\"p999_us\"", "\"mean_us\""]
+        for key in [
+            "\"served\": 2",
+            "\"kernel\": \"scalar\"",
+            "\"stages\"",
+            "\"p50_us\"",
+            "\"p999_us\"",
+            "\"mean_us\"",
+        ]
         {
             assert!(json.contains(key), "{json}");
         }

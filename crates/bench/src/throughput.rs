@@ -32,6 +32,7 @@ use std::fmt;
 use std::time::{Duration, Instant};
 
 use mcs_gray::ValidString;
+use mcs_logic::plane::kernel::{self, KernelId, UnknownKernel};
 use mcs_logic::{PlaneWidth, TritBlock, TritVec, TritWord};
 use mcs_netlist::{EvalTape, Netlist};
 use mcs_networks::circuit::{build_sorting_circuit, TwoSortFlavor};
@@ -96,6 +97,10 @@ pub struct ThroughputConfig {
     pub workers: usize,
     /// Plane width of the tape evaluation.
     pub plane_width: PlaneWidth,
+    /// Kernel backend of the tape evaluation. Must be available on this
+    /// CPU ([`ThroughputError::Kernel`] otherwise); the checksum is
+    /// backend-independent by the kernel conformance contract.
+    pub kernel: KernelId,
     /// Seed of the deterministic input stream.
     pub seed: u64,
     /// Vectors per work chunk (the sharding granule).
@@ -107,8 +112,8 @@ pub struct ThroughputConfig {
 }
 
 impl ThroughputConfig {
-    /// Default cell: 1 M vectors, auto workers, 4-wide planes, 8192-lane
-    /// chunks, 2048-lane differential sample.
+    /// Default cell: 1 M vectors, auto workers, 4-wide planes, the widest
+    /// available kernel, 8192-lane chunks, 2048-lane differential sample.
     pub fn new(channels: usize, width: usize) -> ThroughputConfig {
         ThroughputConfig {
             channels,
@@ -116,6 +121,7 @@ impl ThroughputConfig {
             vectors: 1_000_000,
             workers: 0,
             plane_width: PlaneWidth::X4,
+            kernel: kernel::preferred(),
             seed: 0x6d63_735f_7468_7270, // "mcs_thrp"
             chunk_lanes: 8192,
             sample_lanes: 2048,
@@ -166,6 +172,8 @@ pub enum ThroughputError {
         /// The resulting chunk count that overflowed the bound.
         chunks: u64,
     },
+    /// The requested kernel backend cannot run on this CPU.
+    Kernel(UnknownKernel),
 }
 
 impl fmt::Display for ThroughputError {
@@ -204,6 +212,7 @@ impl fmt::Display for ThroughputError {
                  chunks, beyond the addressable bound of {}",
                 MAX_CHUNKS
             ),
+            ThroughputError::Kernel(e) => write!(f, "{e}"),
         }
     }
 }
@@ -213,6 +222,12 @@ impl std::error::Error for ThroughputError {}
 impl From<CircuitVerifyError> for ThroughputError {
     fn from(e: CircuitVerifyError) -> ThroughputError {
         ThroughputError::Circuit(e)
+    }
+}
+
+impl From<UnknownKernel> for ThroughputError {
+    fn from(e: UnknownKernel) -> ThroughputError {
+        ThroughputError::Kernel(e)
     }
 }
 
@@ -235,6 +250,8 @@ pub struct CellReport {
     pub workers: usize,
     /// Plane width of the tape evaluation.
     pub plane_width: PlaneWidth,
+    /// Kernel backend the cell streamed through.
+    pub kernel: KernelId,
     /// Wall-clock time of the timed streaming loop only.
     pub elapsed: Duration,
     /// Order-independent-of-workers digest of every output plane.
@@ -280,6 +297,9 @@ pub fn run_cell(cfg: &ThroughputConfig) -> Result<CellReport, ThroughputError> {
     if cfg.chunk_lanes == 0 {
         return Err(unsupported("chunk_lanes must be positive".into()));
     }
+    // Refuse unavailable backends up front, so the per-worker scratch
+    // construction below cannot fail.
+    kernel::require(cfg.kernel)?;
 
     let network = cell_network(cfg.channels);
     if cfg.channels <= MAX_CHECK_CHANNELS {
@@ -305,7 +325,7 @@ pub fn run_cell(cfg: &ThroughputConfig) -> Result<CellReport, ThroughputError> {
     let mut sums = vec![0u64; chunks];
     let mut eval_latency = LatencyHistogram::new();
     if workers <= 1 {
-        let mut scratch = tape.scratch(cfg.plane_width);
+        let mut scratch = cell_scratch(&tape, cfg);
         for (chunk, sum) in sums.iter_mut().enumerate() {
             let t0 = Instant::now();
             *sum = eval_chunk(cfg, &tape, &mut scratch, chunk);
@@ -317,7 +337,7 @@ pub fn run_cell(cfg: &ThroughputConfig) -> Result<CellReport, ThroughputError> {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     s.spawn(move || {
-                        let mut scratch = tape.scratch(cfg.plane_width);
+                        let mut scratch = cell_scratch(tape, cfg);
                         let mut local = Vec::new();
                         // Allocation-free per-worker recording; merged
                         // after join so the hot loop takes no locks.
@@ -364,11 +384,19 @@ pub fn run_cell(cfg: &ThroughputConfig) -> Result<CellReport, ThroughputError> {
         vectors: cfg.vectors,
         workers,
         plane_width: cfg.plane_width,
+        kernel: cfg.kernel,
         elapsed,
         checksum,
         differential_lanes,
         eval_latency,
     })
+}
+
+/// Allocates one worker's scratch for the cell's forced kernel. Infallible
+/// because [`run_cell`] re-validated availability before any worker spawns.
+fn cell_scratch(tape: &EvalTape, cfg: &ThroughputConfig) -> mcs_netlist::TapeScratch {
+    tape.try_scratch(cfg.plane_width, cfg.kernel)
+        .expect("kernel availability is pre-checked by run_cell")
 }
 
 /// The comparator network a cell streams: the best-known optimal table
@@ -523,7 +551,13 @@ fn differential_check(
 
     let want = circuit.eval_block(&inputs);
     for plane_width in PlaneWidth::ALL {
-        let got = tape.eval_block_wide(&inputs, plane_width);
+        // The sample runs under the cell's forced kernel, so a backend
+        // that diverged from the interpreter would be caught before the
+        // timed loop streams a single vector.
+        let mut scratch = tape.try_scratch(plane_width, cfg.kernel)?;
+        let got = tape
+            .try_eval_block_with(&inputs, &mut scratch)
+            .expect("sample inputs are well-formed by construction");
         for (port, (g, w)) in got.iter().zip(&want).enumerate() {
             if let Some(lane) = g.first_mismatch(w) {
                 let name = circuit
@@ -604,6 +638,12 @@ pub fn report_json(seed: u64, chunk_lanes: usize, cells: &[CellReport]) -> Strin
         out.push_str(&format!(
             "      \"plane_width\": {},\n",
             c.plane_width.words()
+        ));
+        // Additive field (schema stays v1): which kernel backend streamed
+        // the cell. The checksum is backend-independent.
+        out.push_str(&format!(
+            "      \"kernel\": \"{}\",\n",
+            json_escape(c.kernel.name())
         ));
         out.push_str(&format!(
             "      \"elapsed_s\": {:.6},\n",
@@ -809,6 +849,50 @@ mod tests {
                 "workers={workers}"
             );
         }
+    }
+
+    #[test]
+    fn checksum_is_invariant_across_kernels() {
+        let mut reference = None;
+        for k in kernel::kernels() {
+            let mut cfg = small_cfg();
+            cfg.kernel = k;
+            let r = run_cell(&cfg).unwrap();
+            assert_eq!(r.kernel, k);
+            let c = *reference.get_or_insert(r.checksum);
+            assert_eq!(r.checksum, c, "kernel={k}");
+        }
+    }
+
+    #[test]
+    fn unavailable_kernel_is_a_typed_error() {
+        let usable = kernel::kernels();
+        let missing = KernelId::ALL
+            .into_iter()
+            .find(|k| !usable.contains(k))
+            .expect("no build target supports every backend");
+        let mut cfg = small_cfg();
+        cfg.kernel = missing;
+        match run_cell(&cfg) {
+            Err(ThroughputError::Kernel(UnknownKernel::Unavailable(k))) => {
+                assert_eq!(k, missing)
+            }
+            other => panic!("expected a kernel refusal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn json_cells_carry_the_kernel_field() {
+        let mut cfg = small_cfg();
+        cfg.vectors = 100;
+        cfg.sample_lanes = 64;
+        cfg.kernel = KernelId::Scalar;
+        let r = run_cell(&cfg).unwrap();
+        let json = report_json(cfg.seed, cfg.chunk_lanes, &[r]);
+        assert!(
+            json.contains("\"kernel\": \"scalar\""),
+            "missing kernel field in:\n{json}"
+        );
     }
 
     #[test]

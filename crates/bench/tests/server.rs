@@ -13,10 +13,12 @@ use std::sync::mpsc::channel;
 use std::time::{Duration, Instant};
 
 use mcs_bench::server::{
-    format_err, serve_lines, serve_tcp, CoalescerQueue, FrameError, Job,
-    Reply, Request, ServeReport, ServerConfig, SortEngine, STATS_SCHEMA,
+    format_err, serve_lines, serve_tcp, stats_json, CoalescerQueue,
+    FrameError, Job, Reply, Request, ServeReport, ServerConfig, ServerError,
+    SortEngine, STATS_SCHEMA,
 };
 use mcs_gray::ValidString;
+use mcs_logic::plane::kernel::{self, KernelId, UnknownKernel};
 use mcs_logic::PlaneWidth;
 
 /// Deterministic splitmix64 (no RNG deps in the workspace).
@@ -284,6 +286,58 @@ fn ten_k_requests_identical_across_workers_and_planes() {
             assert_eq!(report.served, 10_000);
             assert_eq!(report.rejected, 0);
             assert_eq!(report.workers, workers);
+        }
+    }
+}
+
+/// The kernel backend must not matter either: the same mixed-size batch
+/// file serves byte-identical output under every available backend, at a
+/// 1-wide and a 4-wide plane (tail-only SIMD and full-vector SIMD), and
+/// the report names the kernel that actually ran.
+#[test]
+fn forced_kernels_serve_byte_identical_output() {
+    let file = mixed_request_file(2_000, 0x51D_2018);
+    let want = reference_output(&file);
+    for k in kernel::kernels() {
+        for planes in [PlaneWidth::X1, PlaneWidth::X4] {
+            let mut cfg = ServerConfig::new(4, 2);
+            cfg.workers = 2;
+            cfg.plane_width = planes;
+            cfg.kernel = k;
+            let engine = engine(cfg);
+            let (out, report) = run_lines(&engine, &file);
+            assert_eq!(out, want, "output diverged at kernel={k} planes={planes}");
+            assert_eq!(report.served, 2_000);
+            assert_eq!(report.kernel, k);
+            // The stats document names the backend — what `--stats-json`
+            // consumers (and the CI kernel-matrix job) read.
+            let json = stats_json(&report);
+            assert!(
+                json.contains(&format!("\"kernel\": \"{}\"", k.name())),
+                "{json}"
+            );
+            assert!(json.contains(STATS_SCHEMA));
+        }
+    }
+}
+
+/// Forcing a backend this CPU cannot run is refused at engine
+/// construction with a typed error — before any worker thread spawns.
+#[test]
+fn unavailable_kernel_is_refused_at_construction() {
+    for k in KernelId::ALL {
+        if kernel::available(k) {
+            continue;
+        }
+        let mut cfg = ServerConfig::new(4, 2);
+        cfg.kernel = k;
+        match SortEngine::new(cfg) {
+            Err(ServerError::Kernel(UnknownKernel::Unavailable(got))) => {
+                assert_eq!(got, k)
+            }
+            other => {
+                panic!("expected typed kernel refusal, got {:?}", other.map(|_| ()))
+            }
         }
     }
 }

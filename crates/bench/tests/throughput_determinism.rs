@@ -9,6 +9,7 @@ use mcs_bench::throughput::{
     cell_network, report_json, run_cell, ThroughputConfig, ThroughputError,
     JSON_SCHEMA,
 };
+use mcs_logic::plane::kernel::{self, KernelId, UnknownKernel};
 use mcs_logic::PlaneWidth;
 
 fn cfg(channels: usize, width: usize, vectors: u64) -> ThroughputConfig {
@@ -47,6 +48,45 @@ fn checksum_is_identical_across_plane_widths() {
         let r = run_cell(&c).unwrap();
         let want = *reference.get_or_insert(r.checksum);
         assert_eq!(r.checksum, want, "plane width {plane_width}");
+    }
+}
+
+/// Every available kernel backend (scalar plus whatever SIMD this CPU
+/// has) streams the same bytes — at every plane width, so the SIMD
+/// full-vector path and the sub-vector tail path are both covered. This
+/// is the throughput-layer face of the kernel conformance contract.
+#[test]
+fn checksum_is_identical_across_kernels() {
+    let mut reference = None;
+    for k in kernel::kernels() {
+        for plane_width in PlaneWidth::ALL {
+            let mut c = cfg(4, 2, 4_000);
+            c.kernel = k;
+            c.plane_width = plane_width;
+            let r = run_cell(&c).unwrap();
+            assert_eq!(r.kernel, k);
+            let want = *reference.get_or_insert(r.checksum);
+            assert_eq!(r.checksum, want, "kernel {k}, plane width {plane_width}");
+        }
+    }
+}
+
+/// Forcing a backend this CPU cannot run is a typed preflight refusal,
+/// never a panic mid-stream.
+#[test]
+fn unavailable_kernel_is_a_typed_preflight_error() {
+    for k in KernelId::ALL {
+        if kernel::available(k) {
+            continue;
+        }
+        let mut c = cfg(4, 2, 10);
+        c.kernel = k;
+        match run_cell(&c) {
+            Err(ThroughputError::Kernel(UnknownKernel::Unavailable(got))) => {
+                assert_eq!(got, k)
+            }
+            other => panic!("expected typed kernel refusal, got {other:?}"),
+        }
     }
 }
 
@@ -114,6 +154,7 @@ fn json_report_is_format_stable() {
         "\"vectors\": 1000",
         "\"workers\": 1",
         "\"plane_width\": 4",
+        "\"kernel\": \"",
         "\"elapsed_s\"",
         "\"vectors_per_s\"",
         "\"differential_lanes\": 512",
@@ -121,6 +162,18 @@ fn json_report_is_format_stable() {
         assert!(json.contains(field), "missing {field}:\n{json}");
     }
     assert!(json.contains(&format!("\"checksum\": \"0x{:016x}\"", r.checksum)));
+    assert!(json.contains(&format!("\"kernel\": \"{}\"", r.kernel.name())));
+}
+
+/// A forced-scalar cell reports `"kernel": "scalar"` in its JSON cell —
+/// what the CI kernel-matrix job greps to prove the forcing took effect.
+#[test]
+fn json_report_carries_the_forced_kernel() {
+    let mut c = cfg(4, 2, 500);
+    c.kernel = KernelId::Scalar;
+    let r = run_cell(&c).unwrap();
+    let json = report_json(7, 512, std::slice::from_ref(&r));
+    assert!(json.contains("\"kernel\": \"scalar\""), "{json}");
 }
 
 /// Misconfigured cells fail with typed errors before any streaming.

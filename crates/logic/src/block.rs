@@ -114,6 +114,27 @@ impl TritBlock {
         self.words[k]
     }
 
+    /// Copies the plane pair of words `first ..` into `z`/`o`, padding
+    /// words past the block's end with stable `0` so the destination stays
+    /// well-encoded — the single-pass input-pack path of the compiled-tape
+    /// evaluator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z` and `o` have different lengths.
+    pub fn copy_planes(&self, first: usize, z: &mut [u64], o: &mut [u64]) {
+        assert_eq!(z.len(), o.len(), "plane buffers must have equal length");
+        for (j, (zw, ow)) in z.iter_mut().zip(o.iter_mut()).enumerate() {
+            let w = self
+                .words
+                .get(first + j)
+                .copied()
+                .unwrap_or(TritWord::ZERO);
+            *zw = w.can_zero_plane();
+            *ow = w.can_one_plane();
+        }
+    }
+
     /// Overwrites word `k`, re-masking the tail if `k` is the last word.
     ///
     /// # Panics
@@ -465,6 +486,30 @@ mod tests {
         assert_tail_invariant(&and);
         assert_tail_invariant(&or);
         assert_tail_invariant(&not);
+    }
+
+    #[test]
+    fn copy_planes_matches_word_accessors_and_pads_with_stable_zero() {
+        let b: TritBlock = (0..130).map(|i| Trit::ALL[i % 3]).collect();
+        // Offset 1, window of 4: words 1..3 real, words 4..5 padding.
+        let mut z = [0u64; 4];
+        let mut o = [0u64; 4];
+        b.copy_planes(1, &mut z, &mut o);
+        for j in 0..4 {
+            let want = if 1 + j < b.word_count() {
+                b.word(1 + j)
+            } else {
+                TritWord::ZERO
+            };
+            assert_eq!(z[j], want.can_zero_plane(), "z word {j}");
+            assert_eq!(o[j], want.can_one_plane(), "o word {j}");
+        }
+        // A window entirely past the end is all stable 0.
+        b.copy_planes(7, &mut z, &mut o);
+        assert_eq!(z, [!0u64; 4]);
+        assert_eq!(o, [0u64; 4]);
+        // An empty window is a no-op.
+        b.copy_planes(0, &mut [], &mut []);
     }
 
     #[test]

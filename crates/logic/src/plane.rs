@@ -1,6 +1,9 @@
 //! Wide bit-plane tier: `W` interleaved [`TritWord`]-sized plane pairs
 //! (`W × 64` ternary lanes) processed as one value, plus the runtime
-//! [`PlaneWidth`] selector used by the compiled-tape evaluator.
+//! [`PlaneWidth`] selector used by the compiled-tape evaluator and the
+//! [`kernel`] backends (scalar / AVX2 / NEON) it dispatches through.
+
+pub mod kernel;
 
 use std::fmt;
 use std::ops::{BitAnd, BitOr, Not};

@@ -21,11 +21,17 @@
 //!   [`TritPlanes<W>`](mcs_logic::TritPlanes) for `W ∈ {1, 4, 8}`
 //!   ([`PlaneWidth`]), so one pass over the tape advances 64, 256 or 512
 //!   lanes.
+//! * **SIMD kernels.** The per-run inner loops are instantiated per
+//!   [`KernelId`] backend (portable scalar, AVX2, NEON) from the shared
+//!   gate formulas in [`mcs_logic::plane::kernel`]. Each [`TapeScratch`]
+//!   carries the backend it was built for — [`EvalTape::scratch`] picks
+//!   the widest one the CPU supports, [`EvalTape::try_scratch`] forces a
+//!   specific one (refusing unavailable backends with a typed error).
 //!
 //! The tape computes exactly the function of [`Netlist::eval_block`] — the
 //! per-cell plane formulas are the same as [`Gate::eval_word`], lifted to
-//! `W` words — and the `tape_differential` suite pins lane-for-lane
-//! equality at every plane width.
+//! `W` words — and the `tape_differential` + `kernel_conformance` suites
+//! pin lane-for-lane equality at every plane width under every backend.
 //!
 //! # Example
 //!
@@ -50,7 +56,8 @@
 
 use std::fmt;
 
-use mcs_logic::{PlaneWidth, TritBlock, TritPlanes, TritWord};
+use mcs_logic::plane::kernel::{self, ops, KernelId, PlaneVec, UnknownKernel};
+use mcs_logic::{PlaneWidth, TritBlock, TritWord};
 
 use crate::gate::Gate;
 use crate::netlist::Netlist;
@@ -182,18 +189,29 @@ pub struct TapeRun {
 /// prefilled once at construction and never overwritten, so one scratch can
 /// be reused across any number of [`EvalTape::eval_block_with`] calls —
 /// which is exactly what the throughput engine's streaming workers do.
+///
+/// The scratch also pins the [`KernelId`] backend evaluation dispatches
+/// through. A SIMD backend can only enter a scratch after
+/// [`kernel::require`] confirmed the CPU supports it, which is what makes
+/// the evaluator's unchecked SIMD inner loops sound.
 #[derive(Clone, Debug)]
 pub struct TapeScratch {
     width: PlaneWidth,
+    kernel: KernelId,
     slots: usize,
-    z: Vec<u64>,
-    o: Vec<u64>,
+    z: kernel::PlaneBuf,
+    o: kernel::PlaneBuf,
 }
 
 impl TapeScratch {
     /// The plane width the scratch was sized for.
     pub fn width(&self) -> PlaneWidth {
         self.width
+    }
+
+    /// The kernel backend evaluation with this scratch dispatches through.
+    pub fn kernel(&self) -> KernelId {
+        self.kernel
     }
 }
 
@@ -322,17 +340,37 @@ impl EvalTape {
     }
 
     /// Allocates plane buffers for this tape at the given width, with
-    /// constant slots prefilled.
+    /// constant slots prefilled, dispatching through the widest kernel
+    /// backend available on this CPU ([`kernel::preferred`]).
     pub fn scratch(&self, width: PlaneWidth) -> TapeScratch {
+        self.scratch_impl(width, kernel::preferred())
+    }
+
+    /// Like [`EvalTape::scratch`], but forcing a specific kernel backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownKernel::Unavailable`] when this CPU cannot run
+    /// `kernel` — the typed refusal behind the `MCS_KERNEL` override.
+    pub fn try_scratch(
+        &self,
+        width: PlaneWidth,
+        kernel: KernelId,
+    ) -> Result<TapeScratch, UnknownKernel> {
+        Ok(self.scratch_impl(width, kernel::require(kernel)?))
+    }
+
+    fn scratch_impl(&self, width: PlaneWidth, kernel: KernelId) -> TapeScratch {
         let w = width.words();
         let n = self.slot_count() * w;
         // Everything starts as stable 0 so unwritten pad words stay
         // well-encoded.
         let mut scratch = TapeScratch {
             width,
+            kernel,
             slots: self.slot_count(),
-            z: vec![!0u64; n],
-            o: vec![0u64; n],
+            z: kernel::PlaneBuf::filled(n, !0),
+            o: kernel::PlaneBuf::filled(n, 0),
         };
         for &(slot, value) in &self.const_loads {
             let base = slot as usize * w;
@@ -400,6 +438,23 @@ impl EvalTape {
         inputs: &[TritBlock],
         scratch: &mut TapeScratch,
     ) -> Result<Vec<TritBlock>, TapeEvalError> {
+        let lanes = self.check_call(inputs, scratch)?;
+        Ok(match scratch.width {
+            PlaneWidth::X1 => self.eval_generic::<1>(inputs, lanes, scratch),
+            PlaneWidth::X4 => self.eval_generic::<4>(inputs, lanes, scratch),
+            PlaneWidth::X8 => self.eval_generic::<8>(inputs, lanes, scratch),
+        })
+    }
+
+    /// The one validation gate every eval entry point funnels through
+    /// (directly or via [`EvalTape::try_eval_block_with`]), so no backend
+    /// or width can grow its own divergent error surface. Returns the
+    /// shared lane count.
+    fn check_call(
+        &self,
+        inputs: &[TritBlock],
+        scratch: &TapeScratch,
+    ) -> Result<usize, TapeEvalError> {
         if scratch.slots != self.slot_count() {
             return Err(TapeEvalError::ScratchMismatch {
                 scratch_slots: scratch.slots,
@@ -413,29 +468,22 @@ impl EvalTape {
             });
         }
         let lanes = inputs.first().map_or(0, TritBlock::lanes);
-        if let Some(port) =
-            inputs.iter().position(|b| b.lanes() != lanes)
-        {
+        if let Some(port) = inputs.iter().position(|b| b.lanes() != lanes) {
             return Err(TapeEvalError::LaneMismatch {
                 port,
                 got: inputs[port].lanes(),
                 want: lanes,
             });
         }
-        Ok(match scratch.width {
-            PlaneWidth::X1 => self.eval_generic::<1>(inputs, scratch),
-            PlaneWidth::X4 => self.eval_generic::<4>(inputs, scratch),
-            PlaneWidth::X8 => self.eval_generic::<8>(inputs, scratch),
-        })
+        Ok(lanes)
     }
 
     fn eval_generic<const W: usize>(
         &self,
         inputs: &[TritBlock],
+        lanes: usize,
         scratch: &mut TapeScratch,
     ) -> Vec<TritBlock> {
-        debug_assert_eq!(inputs.len(), self.input_count);
-        let lanes = inputs.first().map_or(0, TritBlock::lanes);
         let nwords = lanes.div_ceil(LANES);
         let mut out: Vec<TritBlock> = (0..self.outputs.len())
             .map(|_| TritBlock::zeros(lanes))
@@ -444,20 +492,15 @@ impl EvalTape {
             let k0 = group * W;
             for &(slot, port) in &self.input_loads {
                 let base = slot as usize * W;
-                let block = &inputs[port as usize];
-                for j in 0..W {
-                    // Pad words past the block stay stable 0 so every slot
-                    // keeps the well-encoding invariant.
-                    let w = if k0 + j < nwords {
-                        block.word(k0 + j)
-                    } else {
-                        TritWord::ZERO
-                    };
-                    scratch.z[base + j] = w.can_zero_plane();
-                    scratch.o[base + j] = w.can_one_plane();
-                }
+                // copy_planes pads words past the block with stable 0 so
+                // every slot keeps the well-encoding invariant.
+                inputs[port as usize].copy_planes(
+                    k0,
+                    &mut scratch.z[base..base + W],
+                    &mut scratch.o[base..base + W],
+                );
             }
-            self.run_tape::<W>(&mut scratch.z, &mut scratch.o);
+            self.run_tape::<W>(scratch.kernel, &mut scratch.z, &mut scratch.o);
             for (p, &slot) in self.outputs.iter().enumerate() {
                 let base = slot as usize * W;
                 for j in 0..W {
@@ -481,115 +524,131 @@ impl EvalTape {
         out
     }
 
-    fn run_tape<const W: usize>(&self, z: &mut [u64], o: &mut [u64]) {
+    /// Executes every run through the backend the scratch was built for.
+    ///
+    /// The SIMD arms are sound because `kernel` comes from a
+    /// [`TapeScratch`], whose constructors only admit backends that passed
+    /// [`kernel::require`] on this CPU.
+    fn run_tape<const W: usize>(&self, kernel: KernelId, z: &mut [u64], o: &mut [u64]) {
+        match kernel {
+            KernelId::Scalar => self.run_tape_v::<u64, W>(z, o),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: scratch construction verified avx2 is available.
+            KernelId::Avx2 => unsafe { self.run_tape_avx2::<W>(z, o) },
+            #[cfg(target_arch = "aarch64")]
+            // SAFETY: NEON is architecturally baseline on aarch64.
+            KernelId::Neon => unsafe { self.run_tape_neon::<W>(z, o) },
+            // A backend this build target cannot even name never enters a
+            // scratch; keep the match total with the portable backend
+            // rather than a panic path.
+            #[allow(unreachable_patterns)]
+            _ => self.run_tape_v::<u64, W>(z, o),
+        }
+    }
+
+    /// The AVX2 instantiation of [`EvalTape::run_tape_v`]. The
+    /// `target_feature` attribute lets the inlined [`PlaneVec`] ops compile
+    /// to real AVX2 instructions.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support `avx2`.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn run_tape_avx2<const W: usize>(&self, z: &mut [u64], o: &mut [u64]) {
+        self.run_tape_v::<kernel::Avx2, W>(z, o)
+    }
+
+    /// The NEON instantiation of [`EvalTape::run_tape_v`].
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support `neon` (always true on aarch64).
+    #[cfg(target_arch = "aarch64")]
+    #[target_feature(enable = "neon")]
+    unsafe fn run_tape_neon<const W: usize>(&self, z: &mut [u64], o: &mut [u64]) {
+        self.run_tape_v::<kernel::Neon, W>(z, o)
+    }
+
+    /// One pass over every run, generic over the backend register type:
+    /// each slot applies its gate formula `V::WORDS` plane words at a time
+    /// with a `u64` tail (see [`kernel::apply_slot`]).
+    #[inline(always)]
+    fn run_tape_v<V: PlaneVec, const W: usize>(&self, z: &mut [u64], o: &mut [u64]) {
+        debug_assert_eq!(z.len(), self.slot_count() * W);
+        debug_assert_eq!(o.len(), self.slot_count() * W);
         for run in &self.runs {
             let start = run.start as usize;
             let end = start + run.len as usize;
+            // One dispatch per run, then a branch-free sweep over its
+            // slots. The sweep prefetches the fan-ins a few slots ahead
+            // (a no-op on the portable backend): fan-in addresses are
+            // index-driven, so the hardware prefetcher cannot anticipate
+            // them, and on circuits whose working set has left L1 the
+            // sweep is bound by exactly that load latency.
+            const PREFETCH_AHEAD: usize = 16;
+            macro_rules! sweep {
+                ($gate:ty) => {
+                    for s in start..end {
+                        // SAFETY: compile() keeps every fan-in slot strictly
+                        // below its consumer and below slot_count(); the
+                        // buffers hold slot_count() × W words; `V`'s CPU
+                        // feature was verified when the scratch was built
+                        // (and u64 needs none).
+                        // SAFETY (fan-in indexing): `s` and `t` stay below
+                        // `end <= slot_count() == a.len() == b.len() ==
+                        // c.len()` (compile() sizes all three to one entry
+                        // per slot), so the unchecked loads are in bounds;
+                        // skipping the per-slot bounds checks is worth
+                        // several percent on this loop.
+                        unsafe {
+                            let t = s + PREFETCH_AHEAD;
+                            if V::PREFETCHES && t < end {
+                                let arity =
+                                    <$gate as kernel::GateOp>::ARITY;
+                                let pa =
+                                    *self.a.get_unchecked(t) as usize * W;
+                                V::prefetch(z.as_ptr().add(pa));
+                                V::prefetch(o.as_ptr().add(pa));
+                                if arity >= 2 {
+                                    let pb =
+                                        *self.b.get_unchecked(t) as usize * W;
+                                    V::prefetch(z.as_ptr().add(pb));
+                                    V::prefetch(o.as_ptr().add(pb));
+                                }
+                                if arity >= 3 {
+                                    let pc =
+                                        *self.c.get_unchecked(t) as usize * W;
+                                    V::prefetch(z.as_ptr().add(pc));
+                                    V::prefetch(o.as_ptr().add(pc));
+                                }
+                            }
+                            kernel::apply_slot::<$gate, V, W>(
+                                z,
+                                o,
+                                s,
+                                *self.a.get_unchecked(s) as usize,
+                                *self.b.get_unchecked(s) as usize,
+                                *self.c.get_unchecked(s) as usize,
+                            )
+                        }
+                    }
+                };
+            }
             match run.op {
-                TapeOp::Inv => {
-                    for s in start..end {
-                        let x = load::<W>(z, o, self.a[s]);
-                        store(z, o, s, !x);
-                    }
-                }
-                TapeOp::And2 => {
-                    for s in start..end {
-                        let x = load::<W>(z, o, self.a[s]);
-                        let y = load::<W>(z, o, self.b[s]);
-                        store(z, o, s, x & y);
-                    }
-                }
-                TapeOp::Or2 => {
-                    for s in start..end {
-                        let x = load::<W>(z, o, self.a[s]);
-                        let y = load::<W>(z, o, self.b[s]);
-                        store(z, o, s, x | y);
-                    }
-                }
-                TapeOp::Nand2 => {
-                    for s in start..end {
-                        let x = load::<W>(z, o, self.a[s]);
-                        let y = load::<W>(z, o, self.b[s]);
-                        store(z, o, s, !(x & y));
-                    }
-                }
-                TapeOp::Nor2 => {
-                    for s in start..end {
-                        let x = load::<W>(z, o, self.a[s]);
-                        let y = load::<W>(z, o, self.b[s]);
-                        store(z, o, s, !(x | y));
-                    }
-                }
-                TapeOp::Xor2 => {
-                    for s in start..end {
-                        let x = load::<W>(z, o, self.a[s]);
-                        let y = load::<W>(z, o, self.b[s]);
-                        let m = mask_or(x.meta(), y.meta());
-                        store(z, o, s, ((x & !y) | (!x & y)).poison(m));
-                    }
-                }
-                TapeOp::Xnor2 => {
-                    for s in start..end {
-                        let x = load::<W>(z, o, self.a[s]);
-                        let y = load::<W>(z, o, self.b[s]);
-                        let m = mask_or(x.meta(), y.meta());
-                        store(z, o, s, ((x & y) | (!x & !y)).poison(m));
-                    }
-                }
-                TapeOp::Mux2 => {
-                    for s in start..end {
-                        let v0 = load::<W>(z, o, self.a[s]);
-                        let v1 = load::<W>(z, o, self.b[s]);
-                        let sel = load::<W>(z, o, self.c[s]);
-                        store(z, o, s, ((v1 & sel) | (v0 & !sel)).poison(sel.meta()));
-                    }
-                }
-                TapeOp::AndNot2 => {
-                    for s in start..end {
-                        let x = load::<W>(z, o, self.a[s]);
-                        let y = load::<W>(z, o, self.b[s]);
-                        let m = mask_or(x.meta(), y.meta());
-                        store(z, o, s, (x & !y).poison(m));
-                    }
-                }
-                TapeOp::Ao21 => {
-                    for s in start..end {
-                        let x = load::<W>(z, o, self.a[s]);
-                        let y = load::<W>(z, o, self.b[s]);
-                        let v = load::<W>(z, o, self.c[s]);
-                        let m = mask_or(mask_or(x.meta(), y.meta()), v.meta());
-                        store(z, o, s, (x | (y & v)).poison(m));
-                    }
-                }
+                TapeOp::Inv => sweep!(ops::Inv),
+                TapeOp::And2 => sweep!(ops::And2),
+                TapeOp::Or2 => sweep!(ops::Or2),
+                TapeOp::Nand2 => sweep!(ops::Nand2),
+                TapeOp::Nor2 => sweep!(ops::Nor2),
+                TapeOp::Xor2 => sweep!(ops::Xor2),
+                TapeOp::Xnor2 => sweep!(ops::Xnor2),
+                TapeOp::Mux2 => sweep!(ops::Mux2),
+                TapeOp::AndNot2 => sweep!(ops::AndNot2),
+                TapeOp::Ao21 => sweep!(ops::Ao21),
             }
         }
     }
-}
-
-#[inline(always)]
-fn load<const W: usize>(z: &[u64], o: &[u64], slot: u32) -> TritPlanes<W> {
-    let base = slot as usize * W;
-    let mut zz = [0u64; W];
-    let mut oo = [0u64; W];
-    zz.copy_from_slice(&z[base..base + W]);
-    oo.copy_from_slice(&o[base..base + W]);
-    TritPlanes::from_planes(zz, oo)
-}
-
-#[inline(always)]
-fn store<const W: usize>(z: &mut [u64], o: &mut [u64], slot: usize, p: TritPlanes<W>) {
-    let base = slot * W;
-    z[base..base + W].copy_from_slice(&p.can_zero_planes());
-    o[base..base + W].copy_from_slice(&p.can_one_planes());
-}
-
-#[inline(always)]
-fn mask_or<const W: usize>(a: [u64; W], b: [u64; W]) -> [u64; W] {
-    let mut r = a;
-    for j in 0..W {
-        r[j] |= b[j];
-    }
-    r
 }
 
 #[cfg(test)]
@@ -770,6 +829,46 @@ mod tests {
             tape.try_eval_block_with(&inputs, &mut scratch).unwrap(),
             n.eval_block(&inputs)
         );
+    }
+
+    #[test]
+    fn every_available_kernel_matches_eval_block_at_every_width() {
+        let n = full_cell_netlist();
+        let tape = EvalTape::compile(&n);
+        for lanes in [0usize, 1, 63, 64, 65, 1000] {
+            let inputs = ternary_inputs(n.input_count(), lanes);
+            let want = n.eval_block(&inputs);
+            for width in PlaneWidth::ALL {
+                for k in kernel::kernels() {
+                    let mut scratch = tape.try_scratch(width, k).unwrap();
+                    assert_eq!(scratch.kernel(), k);
+                    assert_eq!(
+                        tape.try_eval_block_with(&inputs, &mut scratch).unwrap(),
+                        want,
+                        "{lanes} lanes at {width} under {k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_scratch_refuses_unavailable_backends_with_a_typed_error() {
+        let tape = EvalTape::compile(&full_cell_netlist());
+        let usable = kernel::kernels();
+        assert_eq!(tape.scratch(PlaneWidth::X4).kernel(), kernel::preferred());
+        for k in KernelId::ALL {
+            match tape.try_scratch(PlaneWidth::X4, k) {
+                Ok(s) => assert!(usable.contains(&s.kernel())),
+                Err(e) => {
+                    assert!(!usable.contains(&k));
+                    assert_eq!(e, UnknownKernel::Unavailable(k));
+                }
+            }
+        }
+        // No single build target supports every backend, so the typed
+        // refusal path is exercised on every host.
+        assert!(KernelId::ALL.iter().any(|&k| !usable.contains(&k)));
     }
 
     #[test]
